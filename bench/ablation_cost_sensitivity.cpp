@@ -1,0 +1,134 @@
+// Ablation — cost-model sensitivity.
+//
+// The benches report simulated time: measured event counts priced by the
+// machine descriptions in gpusim/cost_model.hpp. This ablation stresses the
+// reproduction's validity claim (DESIGN.md §1): the *qualitative* Figure 6
+// result — Inverted Index at the bottom, Word Count weakest among the
+// MapReduce apps, the combining-heavy apps on top, GPU winning on average —
+// must survive large perturbations of the unit costs. Each application runs
+// ONCE; the recorded counts are then re-priced under each scenario.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/datagen.hpp"
+#include "apps/mr_apps.hpp"
+#include "apps/standalone_app.hpp"
+#include "common/table_printer.hpp"
+#include "gpusim/cost_model.hpp"
+
+using namespace sepo;
+using namespace sepo::apps;
+
+namespace {
+
+// Scales the aggregate compute throughput of a machine (f > 1 = faster).
+gpusim::MachineDesc scale_compute(gpusim::MachineDesc m, double f) {
+  m.sec_per_work_unit /= f;
+  m.sec_per_hash_op /= f;
+  m.sec_per_compare_byte /= f;
+  m.sec_per_chain_link /= f;
+  m.sec_per_alloc /= f;
+  m.sec_per_lock /= f;
+  m.sec_per_divergent_unit /= f;
+  return m;
+}
+
+gpusim::MachineDesc scale_serialization(gpusim::MachineDesc m, double f) {
+  m.sec_per_critical_section *= f;
+  m.sec_per_serial_atomic *= f;
+  return m;
+}
+
+struct AppRun {
+  std::string name;
+  RunResult gpu, cpu;
+};
+
+double reprice_speedup(const AppRun& r, const gpusim::MachineDesc& gdesc,
+                       const gpusim::MachineDesc& cdesc) {
+  const gpusim::PcieBus bus;  // default parameters for transfer repricing
+  const auto b = gpusim::gpu_time(gdesc, r.gpu.stats, bus, r.gpu.pcie);
+  const double gpu_t =
+      b.total + gpusim::serialization_time(gdesc, r.gpu.serial);
+  const double cpu_t = gpusim::cpu_time(cdesc, r.cpu.stats) +
+                       gpusim::serialization_time(cdesc, r.cpu.serial);
+  return cpu_t / gpu_t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: cost-model sensitivity (does the Figure 6 shape "
+              "survive unit-cost perturbations?) ==\n\n");
+
+  // One real execution per app at dataset #2 (fast, still multi-iteration
+  // for the bulky apps).
+  std::vector<AppRun> runs;
+  {
+    PageViewCountApp pvc;
+    InvertedIndexApp ii;
+    DnaAssemblyApp dna;
+    NetflixApp netflix;
+    for (const StandaloneApp* app :
+         std::initializer_list<const StandaloneApp*>{&netflix, &dna, &pvc,
+                                                     &ii}) {
+      const std::string input =
+          app->generate(table1_bytes(app->table1_key(), 2), 88);
+      runs.push_back({app->name(), app->run_gpu(input), app->run_cpu(input)});
+    }
+  }
+  for (const MrApp* app :
+       {&word_count_app(), &patent_citation_app(), &geo_location_app()}) {
+    const std::string input = app->generate(table1_bytes(app->table1_key, 2), 88);
+    runs.push_back({app->name, run_mr_sepo(*app, input),
+                    run_mr_phoenix(*app, input)});
+  }
+
+  struct Scenario {
+    const char* name;
+    gpusim::MachineDesc gpu;
+    gpusim::MachineDesc cpu;
+  };
+  const Scenario scenarios[] = {
+      {"baseline", gpusim::kGpuDesc, gpusim::kCpuDesc},
+      {"gpu 2x slower", scale_compute(gpusim::kGpuDesc, 0.5), gpusim::kCpuDesc},
+      {"gpu 2x faster", scale_compute(gpusim::kGpuDesc, 2.0), gpusim::kCpuDesc},
+      {"cpu 2x slower", gpusim::kGpuDesc, scale_compute(gpusim::kCpuDesc, 0.5)},
+      {"cpu 2x faster", gpusim::kGpuDesc, scale_compute(gpusim::kCpuDesc, 2.0)},
+      {"locks 2x costlier", scale_serialization(gpusim::kGpuDesc, 2.0),
+       scale_serialization(gpusim::kCpuDesc, 2.0)},
+      {"locks 2x cheaper", scale_serialization(gpusim::kGpuDesc, 0.5),
+       scale_serialization(gpusim::kCpuDesc, 0.5)},
+  };
+
+  std::vector<std::string> headers{"scenario"};
+  for (const AppRun& r : runs) headers.push_back(r.name);
+  headers.push_back("II lowest?");
+  headers.push_back("avg");
+  TablePrinter table(headers);
+
+  for (const Scenario& sc : scenarios) {
+    std::vector<std::string> row{sc.name};
+    double min_speedup = 1e9, ii_speedup = 0, sum = 0;
+    for (const AppRun& r : runs) {
+      const double s = reprice_speedup(r, sc.gpu, sc.cpu);
+      row.push_back(TablePrinter::fmt(s, 2));
+      min_speedup = std::min(min_speedup, s);
+      sum += s;
+      if (r.name == std::string("Inverted Index")) ii_speedup = s;
+    }
+    row.push_back(ii_speedup <= min_speedup + 1e-9 ? "yes" : "NO");
+    row.push_back(TablePrinter::fmt(sum / static_cast<double>(runs.size()), 2));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\nexpected shape: across every scenario the bottom two stay "
+              "{Inverted Index, Word Count} (they may trade places when lock "
+              "costs are perturbed — both are the paper's \"do not perform "
+              "as well\" pair), the combining-heavy apps (Netflix, DNA) stay "
+              "on top, and the average stays well above 1. The paper-shape "
+              "conclusions do not hinge on the exact unit costs.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Extension bench — Stadium-hashing-style baseline (paper §VII).
+//
+// The paper dismisses Stadium hashing and Mega-KV qualitatively: they keep
+// the data in CPU memory behind a device-resident index, and "store pairs
+// with duplicate keys as if they are pairs with different keys". This bench
+// makes that argument quantitative on PVC (duplicate-heavy) and on a
+// near-unique workload where Stadium's design is at its best:
+//
+//   * vs the §VI-D pinned table, the fingerprint index removes the remote
+//     chain walks -> Stadium is far faster than naive pinned (its paper
+//     claims 2-3x over earlier GPU tables; we see more because the pinned
+//     strawman walks chains remotely);
+//   * vs SEPO, Stadium still pays one small remote transaction per pair and
+//     cannot combine duplicates on the fly, so SEPO wins on the Big Data
+//     workloads the paper targets.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "apps/standalone_app.hpp"
+#include "baselines/stadium_hash_table.hpp"
+#include "common/strings.hpp"
+#include "common/table_printer.hpp"
+#include "common/timer.hpp"
+#include "mapreduce/spec.hpp"
+
+using namespace sepo;
+using namespace sepo::apps;
+
+namespace {
+
+class StadiumEmitter final : public mapreduce::Emitter {
+ public:
+  explicit StadiumEmitter(baselines::StadiumHashTable& t) noexcept : t_(t) {}
+  core::Status emit(std::string_view key,
+                    std::span<const std::byte> value) override {
+    t_.insert(key, value);
+    return core::Status::kSuccess;
+  }
+
+ private:
+  baselines::StadiumHashTable& t_;
+};
+
+RunResult run_stadium(const StandaloneApp& app, std::string_view input) {
+  WallTimer timer;
+  gpusim::Device dev(8u << 20);  // the index needs headroom: 8 MiB device
+  gpusim::RunStats stats;
+  baselines::StadiumHashTable table(dev, stats, {.num_buckets = 1u << 14});
+  StadiumEmitter em(table);
+  const RecordIndex idx = index_lines(input);
+  // Input still streams through staged chunks; meter it as one bulk pass.
+  dev.bus().h2d(input.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const std::string_view body = idx.record(input.data(), i);
+    stats.add_work_units(body.size());
+    app.map_record(body, em);
+    stats.add_records_processed();
+  }
+  const auto load = table.bucket_load();
+  RunResult r;
+  r.impl = "stadium";
+  r.stats = stats.snapshot();
+  r.pcie = dev.bus().snapshot();
+  r.serial = {.total_lock_ops = load.total_accesses,
+              .max_same_lock_ops = load.max_bucket_accesses,
+              .serial_atomic_ops = 0};
+  r.iterations = 1;
+  r.keys = table.entry_count();
+  r.sim_seconds =
+      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Extension: Stadium-hashing-style baseline (paper §VII "
+              "related work) ==\n\n");
+
+  TablePrinter table({"workload", "impl", "sim time (ms)", "remote txns",
+                      "stored pairs", "speedup vs cpu"});
+  PageViewCountApp pvc;
+  struct Workload {
+    const char* name;
+    std::string input;
+  };
+  const Workload workloads[] = {
+      // Duplicate-heavy: the regime the paper targets (combining matters).
+      {"PVC duplicate-heavy",
+       gen_weblog({.target_bytes = 2u << 20, .seed = 61}, 4000, 1.0)},
+      // Near-unique keys: Stadium's design assumption.
+      {"PVC near-unique",
+       gen_weblog({.target_bytes = 2u << 20, .seed = 62}, 1000000, 0.3)},
+  };
+
+  for (const Workload& w : workloads) {
+    const RunResult cpu = pvc.run_cpu(w.input);
+    const RunResult sepo = pvc.run_gpu(w.input);
+    const RunResult pinned = pvc.run_pinned(w.input);
+    const RunResult stadium = run_stadium(pvc, w.input);
+    for (const RunResult* r : {&sepo, &stadium, &pinned, &cpu}) {
+      table.add_row(
+          {w.name, r->impl, TablePrinter::fmt(r->sim_seconds * 1e3, 3),
+           TablePrinter::fmt_int(static_cast<long long>(r->pcie.remote_txns)),
+           TablePrinter::fmt_int(static_cast<long long>(r->keys)),
+           TablePrinter::fmt(cpu.sim_seconds / r->sim_seconds, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nexpected shape: Stadium beats the naive pinned table (the "
+      "device-resident fingerprint index halves the remote transactions by "
+      "eliminating chain walks; its advantage grows with chain length) but "
+      "stores every duplicate pair (no on-the-fly combining: compare the "
+      "stored-pairs column) and still pays one small PCIe transaction per "
+      "pair, so SEPO keeps a clear lead on the Big Data workloads the paper "
+      "targets — the quantitative version of the paper's §VII critique.\n");
+  return 0;
+}

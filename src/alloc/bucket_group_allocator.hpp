@@ -1,0 +1,102 @@
+// Bucket-group dynamic memory allocator (paper §IV-A).
+//
+// "To make the allocator's service scalable, we distribute the allocation
+// load onto multiple pages... we partition the hash table buckets into
+// bucket groups, each containing n contiguous buckets, and we allocate
+// memory for each bucket group from a different page."
+//
+// Each (group, page-class) pair has an active page; allocations bump within
+// it and acquire a fresh page from the pool when it fills. When the pool is
+// dry the allocation *fails*, which is the event the hash table converts
+// into a POSTPONE response. The allocator tracks which groups are currently
+// failing so the SEPO driver can implement the Basic-organization halt
+// condition ("until the requests from 50% of the bucket groups are being
+// postponed", §IV-C).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/host_heap.hpp"
+#include "alloc/page_pool.hpp"
+#include "gpusim/launch.hpp"
+
+namespace sepo::alloc {
+
+struct Allocation {
+  DevPtr dev = gpusim::kDevNull;
+  HostPtr host = kHostNull;
+  std::uint32_t page = kInvalidPage;
+
+  [[nodiscard]] bool ok() const noexcept { return dev != gpusim::kDevNull; }
+};
+
+class BucketGroupAllocator {
+ public:
+  // `num_classes` is 1 for the basic/combining organizations and 2 for the
+  // multi-valued organization (separate key and value pages, §IV-B).
+  BucketGroupAllocator(PagePool& pool, HostHeap& host_heap,
+                       std::uint32_t num_groups, std::uint32_t num_classes = 1);
+
+  [[nodiscard]] std::uint32_t num_groups() const noexcept { return num_groups_; }
+
+  // Allocates `bytes` (8-byte aligned, must fit in a page) for `group` from
+  // a page of class `cls`. On failure returns a null Allocation and marks
+  // the group as postponing.
+  Allocation alloc(std::uint32_t group, PageClass cls, std::uint32_t bytes,
+                   gpusim::RunStats& stats) noexcept;
+
+  // Number of groups whose most recent allocation attempt failed in the
+  // current interval (since the last reset_postponed()).
+  [[nodiscard]] std::uint32_t postponed_groups() const noexcept {
+    return postponed_groups_.load(std::memory_order_relaxed);
+  }
+
+  void reset_postponed() noexcept;
+
+  // Detaches and returns all active page ids (e.g. before a heap flush);
+  // groups will acquire fresh pages on the next allocation. Appends to `out`.
+  void detach_active_pages(std::vector<std::uint32_t>& out);
+
+  // Detaches only active pages of class `cls` (multi-valued flushes value
+  // pages while key pages may stay resident).
+  void detach_active_pages(PageClass cls, std::vector<std::uint32_t>& out);
+
+  // Moves pages that filled up and were replaced by fresh ones ("retired")
+  // out of the allocator's bookkeeping and appends their ids to `out`.
+  // Together with detach_active_pages this yields every page currently
+  // owned by the allocator, which is what a heap flush operates on.
+  void take_retired_pages(std::vector<std::uint32_t>& out);
+  void take_retired_pages(PageClass cls, std::vector<std::uint32_t>& out);
+
+  [[nodiscard]] PagePool& pool() noexcept { return pool_; }
+  [[nodiscard]] HostHeap& host_heap() noexcept { return host_heap_; }
+
+ private:
+  struct Slot {
+    gpusim::DeviceLock lock;
+    std::uint32_t page = kInvalidPage;
+  };
+
+  [[nodiscard]] Slot& slot(std::uint32_t group, PageClass cls) noexcept {
+    return slots_[static_cast<std::size_t>(group) * num_classes_ +
+                  static_cast<std::uint32_t>(cls)];
+  }
+
+  void mark_postponed(std::uint32_t group) noexcept;
+
+  void retire(std::uint32_t page, PageClass cls) noexcept;
+
+  PagePool& pool_;
+  HostHeap& host_heap_;
+  std::uint32_t num_groups_;
+  std::uint32_t num_classes_;
+  std::vector<Slot> slots_;
+  std::vector<std::atomic<std::uint8_t>> group_postponed_;
+  std::atomic<std::uint32_t> postponed_groups_{0};
+  gpusim::DeviceLock retired_lock_;
+  std::vector<std::uint32_t> retired_[3];  // indexed by PageClass
+};
+
+}  // namespace sepo::alloc

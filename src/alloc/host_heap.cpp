@@ -1,0 +1,17 @@
+#include "alloc/host_heap.hpp"
+
+#include <cstring>
+
+namespace sepo::alloc {
+
+void HostHeap::store_page(std::uint64_t slot, const std::byte* src,
+                          std::size_t bytes) {
+  assert(slot >= 1 && bytes <= page_size_);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (blocks_.size() < slot) blocks_.resize(slot);
+  auto& block = blocks_[slot - 1];
+  if (!block) block = std::make_unique<std::byte[]>(page_size_);
+  std::memcpy(block.get(), src, bytes);
+}
+
+}  // namespace sepo::alloc

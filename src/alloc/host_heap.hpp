@@ -1,0 +1,84 @@
+// Host mirror heap: the CPU-memory destination of flushed device pages.
+//
+// The paper (§III-B) stores *two* pointers per link "where ordinarily one
+// would be used: one is based on the location of contents in GPU memory and
+// another is based on the eventual location of contents in CPU memory". The
+// "eventual location" is made possible by reserving a mirror-heap slot for a
+// device page the moment the page is acquired — every byte allocated from
+// the page therefore has a known host address long before the page is
+// actually copied back.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "alloc/page_pool.hpp"
+
+namespace sepo::alloc {
+
+class HostHeap {
+ public:
+  explicit HostHeap(std::size_t page_size) : page_size_(page_size) {}
+
+  [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
+
+  // Reserves the next mirror slot; returns its 1-based slot id. Thread-safe.
+  std::uint64_t reserve_slot() noexcept {
+    return next_slot_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  // Host address for offset `off` within slot `slot`.
+  [[nodiscard]] HostPtr addr(std::uint64_t slot, std::uint32_t off) const noexcept {
+    assert(slot >= 1 && off < page_size_);
+    return slot * page_size_ + off;
+  }
+
+  // Copies `bytes` bytes of page content into the storage of `slot`.
+  // Called once per (slot) at flush time; allocates the backing block.
+  void store_page(std::uint64_t slot, const std::byte* src, std::size_t bytes);
+
+  // Raw access to the byte at host address `p`. Valid only after the
+  // containing slot was stored.
+  template <typename T = std::byte>
+  [[nodiscard]] const T* ptr(HostPtr p) const noexcept {
+    assert(p != kHostNull);
+    const std::uint64_t slot = p / page_size_;
+    const std::uint64_t off = p % page_size_;
+    assert(slot - 1 < blocks_.size() && blocks_[slot - 1]);
+    return reinterpret_cast<const T*>(blocks_[slot - 1].get() + off);
+  }
+
+  template <typename T = std::byte>
+  [[nodiscard]] T* mutable_ptr(HostPtr p) noexcept {
+    return const_cast<T*>(ptr<T>(p));
+  }
+
+  [[nodiscard]] bool slot_stored(std::uint64_t slot) const noexcept {
+    return slot >= 1 && slot - 1 < blocks_.size() &&
+           blocks_[slot - 1] != nullptr;
+  }
+
+  // Total bytes of host memory holding flushed pages.
+  [[nodiscard]] std::size_t stored_bytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : blocks_)
+      if (b) n += page_size_;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t reserved_slots() const noexcept {
+    return next_slot_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t page_size_;
+  std::atomic<std::uint64_t> next_slot_{0};
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;  // index = slot-1
+};
+
+}  // namespace sepo::alloc

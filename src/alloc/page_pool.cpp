@@ -1,0 +1,75 @@
+#include "alloc/page_pool.hpp"
+
+#include <cassert>
+
+namespace sepo::alloc {
+
+namespace {
+constexpr std::uint64_t pack(std::uint32_t tag, std::uint32_t page) {
+  return (static_cast<std::uint64_t>(tag) << 32) | page;
+}
+constexpr std::uint32_t head_page(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h & 0xffffffffu);
+}
+constexpr std::uint32_t head_tag(std::uint64_t h) {
+  return static_cast<std::uint32_t>(h >> 32);
+}
+}  // namespace
+
+PagePool::PagePool(gpusim::Device& dev, std::size_t heap_bytes,
+                   std::size_t page_size)
+    : page_size_(page_size) {
+  assert(page_size >= 64 && (page_size & (page_size - 1)) == 0);
+  const std::size_t n = heap_bytes / page_size;
+  heap_base_ = dev.alloc_static(n * page_size, /*align=*/64);
+  pages_ = std::vector<PageMeta>(n);
+  next_ = std::vector<std::atomic<std::uint32_t>>(n);
+  // Thread all pages onto the free stack: 0 -> 1 -> ... -> n-1 -> invalid.
+  for (std::size_t i = 0; i < n; ++i)
+    next_[i].store(i + 1 < n ? static_cast<std::uint32_t>(i + 1) : kInvalidPage,
+                   std::memory_order_relaxed);
+  head_.store(pack(0, n > 0 ? 0 : kInvalidPage), std::memory_order_relaxed);
+  free_count_.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+}
+
+std::uint32_t PagePool::acquire(gpusim::RunStats& stats) noexcept {
+  std::uint64_t h = head_.load(std::memory_order_acquire);
+  while (true) {
+    const std::uint32_t page = head_page(h);
+    if (page == kInvalidPage) return kInvalidPage;
+    const std::uint32_t nxt = next_[page].load(std::memory_order_relaxed);
+    const std::uint64_t want = pack(head_tag(h) + 1, nxt);
+    if (head_.compare_exchange_weak(h, want, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      free_count_.fetch_sub(1, std::memory_order_relaxed);
+      stats.add_page_acquires();
+      PageMeta& m = pages_[page];
+      const bool was_in_pool = m.in_pool.exchange(false, std::memory_order_relaxed);
+      assert(was_in_pool);
+      (void)was_in_pool;
+      m.used.store(0, std::memory_order_relaxed);
+      m.pending_keys.store(0, std::memory_order_relaxed);
+      return page;
+    }
+    stats.add_atomic_retries();
+  }
+}
+
+void PagePool::release(std::uint32_t page) noexcept {
+  PageMeta& m = pages_[page];
+  assert(!m.in_pool.load(std::memory_order_relaxed));
+  m.in_pool.store(true, std::memory_order_relaxed);
+  m.host_slot.store(0, std::memory_order_relaxed);
+  std::uint64_t h = head_.load(std::memory_order_acquire);
+  while (true) {
+    next_[page].store(head_page(h), std::memory_order_relaxed);
+    const std::uint64_t want = pack(head_tag(h) + 1, page);
+    if (head_.compare_exchange_weak(h, want, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      free_count_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+}  // namespace sepo::alloc

@@ -1,0 +1,242 @@
+#include "apps/datagen.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/random.hpp"
+
+namespace sepo::apps {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+// Deterministic pseudo-word for a vocabulary id: letters derived from the
+// id's hash, length 3..12.
+void append_word(std::string& out, std::uint64_t id) {
+  std::uint64_t h = id * 0x9e3779b97f4a7c15ULL + 0x1234567;
+  h ^= h >> 31;
+  const std::size_t len = 3 + (h % 10);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>('a' + (h % 26)));
+    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+}
+
+// URL path for a link id; hot ids (small) get short paths, the tail gets
+// longer ones, spanning the variable-length range the hash table must cope
+// with.
+void append_url(std::string& out, std::uint64_t id) {
+  out += "http://";
+  append_word(out, id % 97);
+  out += ".example.com/";
+  std::uint64_t h = id;
+  const std::size_t segments = 1 + (id % 4);
+  for (std::size_t s = 0; s < segments; ++s) {
+    append_word(out, h = h * 31 + 7);
+    out.push_back(s + 1 < segments ? '/' : '\0');
+    if (out.back() == '\0') out.pop_back();
+  }
+  if (id % 5 == 0) {
+    out += "?id=";
+    append_u64(out, id);
+  }
+}
+
+}  // namespace
+
+std::string gen_weblog(DatagenParams p, std::size_t distinct_urls,
+                       double zipf_s) {
+  Rng rng(p.seed);
+  Zipf zipf(distinct_urls, zipf_s);
+  std::string out;
+  out.reserve(p.target_bytes + 256);
+  while (out.size() < p.target_bytes) {
+    // 203.0.113.7 - - [11/Mar/2017:10:05:03] "GET <url> HTTP/1.1" 200 5120
+    append_u64(out, 1 + rng.below(254));
+    out.push_back('.');
+    append_u64(out, rng.below(256));
+    out.push_back('.');
+    append_u64(out, rng.below(256));
+    out.push_back('.');
+    append_u64(out, 1 + rng.below(254));
+    out += " - - [11/Mar/2017:";
+    append_u64(out, rng.below(24));
+    out += ":00:00] \"GET ";
+    append_url(out, zipf.sample(rng));
+    out += " HTTP/1.1\" 200 ";
+    append_u64(out, 100 + rng.below(90000));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string gen_text(DatagenParams p, std::size_t vocabulary, double zipf_s) {
+  Rng rng(p.seed);
+  Zipf zipf(vocabulary, zipf_s);
+  std::string out;
+  out.reserve(p.target_bytes + 128);
+  while (out.size() < p.target_bytes) {
+    const std::size_t words = 6 + rng.below(10);
+    for (std::size_t w = 0; w < words; ++w) {
+      append_word(out, zipf.sample(rng));
+      out.push_back(w + 1 < words ? ' ' : '\n');
+    }
+  }
+  return out;
+}
+
+std::string gen_html_pages(DatagenParams p, std::size_t distinct_links,
+                           std::size_t links_per_page_max) {
+  Rng rng(p.seed);
+  Zipf zipf(distinct_links, 0.8);
+  std::string out;
+  out.reserve(p.target_bytes + 1024);
+  std::uint64_t page_id = 0;
+  while (out.size() < p.target_bytes) {
+    out += "/site/";
+    append_word(out, page_id % 701);
+    out.push_back('/');
+    append_word(out, page_id);
+    append_u64(out, page_id);
+    out += ".html\t<html><body>";
+    ++page_id;
+    const std::size_t links = 1 + rng.below(links_per_page_max);
+    for (std::size_t l = 0; l < links; ++l) {
+      out += "<p>";
+      append_word(out, rng.below(5000));
+      out += " <a href=\"";
+      append_url(out, zipf.sample(rng));
+      out += "\">";
+      append_word(out, rng.below(2000));
+      out += "</a></p>";
+    }
+    out += "</body></html>\n";
+  }
+  return out;
+}
+
+std::string gen_dna_reads(DatagenParams p, std::size_t genome_len,
+                          std::size_t read_len) {
+  Rng rng(p.seed);
+  static constexpr std::array<char, 4> kBases{'A', 'C', 'G', 'T'};
+  std::string genome(genome_len, 'A');
+  for (auto& c : genome) c = kBases[rng.below(4)];
+  std::string out;
+  out.reserve(p.target_bytes + read_len + 2);
+  while (out.size() < p.target_bytes) {
+    const std::size_t pos = rng.below(genome_len - read_len);
+    out.append(genome, pos, read_len);
+    // Occasional sequencing noise (substitution errors create spurious
+    // k-mers, as in real read archives, but must not dominate the k-mer
+    // spectrum).
+    if (rng.chance(0.05)) {
+      const std::size_t back = 1 + rng.below(read_len - 1);
+      out[out.size() - back] = kBases[rng.below(4)];
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string gen_netflix(DatagenParams p, std::size_t movies, std::size_t users,
+                        std::size_t max_users_per_movie) {
+  Rng rng(p.seed);
+  Zipf user_pop(users, 0.6);  // some users rate much more than others
+  std::string out;
+  out.reserve(p.target_bytes + 512);
+  std::uint64_t movie = 0;
+  while (out.size() < p.target_bytes) {
+    out.push_back('m');
+    append_u64(out, movie % movies);
+    out.push_back(':');
+    ++movie;
+    const std::size_t raters = 2 + rng.below(max_users_per_movie - 1);
+    for (std::size_t r = 0; r < raters; ++r) {
+      out += " u";
+      append_u64(out, user_pop.sample(rng));
+      out.push_back(',');
+      append_u64(out, 1 + rng.below(5));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string gen_patents(DatagenParams p, std::size_t patents, double zipf_s) {
+  Rng rng(p.seed);
+  Zipf cited_pop(patents, zipf_s);
+  std::string out;
+  out.reserve(p.target_bytes + 64);
+  std::uint64_t citing = patents;
+  while (out.size() < p.target_bytes) {
+    out.push_back('C');
+    append_u64(out, citing);
+    if (rng.chance(0.25)) ++citing;  // a patent cites several others
+    out.push_back(' ');
+    out.push_back('P');
+    append_u64(out, cited_pop.sample(rng));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string gen_geo_articles(DatagenParams p, std::size_t cells,
+                             double zipf_s) {
+  Rng rng(p.seed);
+  Zipf cell_pop(cells, zipf_s);
+  std::string out;
+  out.reserve(p.target_bytes + 128);
+  std::uint64_t article = 0;
+  while (out.size() < p.target_bytes) {
+    out += "article-";
+    append_u64(out, article++);
+    out.push_back('\t');
+    const std::uint64_t cell = cell_pop.sample(rng);
+    // "48.85N,2.35E/region-<k>" style cell string
+    append_u64(out, cell % 180);
+    out.push_back('.');
+    append_u64(out, cell % 100);
+    out += "N,";
+    append_u64(out, (cell / 180) % 360);
+    out.push_back('.');
+    append_u64(out, (cell * 7) % 100);
+    out += "E/region-";
+    append_word(out, cell);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::size_t table1_bytes(const char* app, int dataset) {
+  if (dataset < 1 || dataset > 4) throw std::invalid_argument("dataset 1..4");
+  const auto mb = [](double v) {
+    return static_cast<std::size_t>(v * 1024.0 * 1024.0);
+  };
+  struct Row {
+    const char* name;
+    double sizes[4];
+  };
+  // Paper Table I, GB -> MB (1:1000 scaling).
+  static constexpr Row kRows[] = {
+      {"ii", {2.0, 3.0, 4.0, 5.0}},
+      {"pvc", {0.6, 2.2, 3.8, 5.8}},
+      {"dna", {2.0, 4.0, 6.0, 8.0}},
+      {"netflix", {1.6, 3.2, 4.8, 6.4}},
+      {"wc", {0.2, 2.0, 3.0, 4.0}},
+      {"pc", {0.2, 2.0, 3.4, 4.8}},
+      {"geo", {0.2, 1.8, 3.2, 5.0}},
+  };
+  for (const Row& r : kRows)
+    if (std::strcmp(r.name, app) == 0) return mb(r.sizes[dataset - 1]);
+  throw std::invalid_argument("unknown app name");
+}
+
+}  // namespace sepo::apps

@@ -1,0 +1,65 @@
+// Synthetic dataset generators for the seven applications (paper §VI-A,
+// Table I). The originals (web logs, Wikipedia, Netflix ratings, NBER
+// patents, DNA read archives) are proprietary or unavailable; these
+// generators reproduce the properties the hash table actually responds to —
+// record format, key cardinality, key skew, and key/value lengths
+// (DESIGN.md §1).
+//
+// All generators are deterministic in (target_bytes, seed) and aim at
+// `target_bytes` of output within one record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sepo::apps {
+
+struct DatagenParams {
+  std::size_t target_bytes = 1u << 20;
+  std::uint64_t seed = 42;
+};
+
+// Page View Count: Apache-style access log, one request per line. URL
+// popularity is Zipf(1.0) over `distinct_urls` so that hot URLs combine
+// heavily while the tail keeps allocating.
+std::string gen_weblog(DatagenParams p, std::size_t distinct_urls = 60000,
+                       double zipf_s = 1.0);
+
+// Word Count: prose-like text from a Zipf(1.05)-weighted vocabulary —
+// "text documents which contain a limited number of distinct words no
+// matter how large the document is" (§VI-B).
+std::string gen_text(DatagenParams p, std::size_t vocabulary = 6000,
+                     double zipf_s = 1.05);
+
+// Inverted Index: one HTML page per line: "<path>\t<html with hrefs>".
+// Hyperlink URLs are 5..120 chars (footnote 4: "URLs that are between 5 and
+// thousands of characters"), drawn Zipf(0.8) from `distinct_links`.
+std::string gen_html_pages(DatagenParams p, std::size_t distinct_links = 40000,
+                           std::size_t links_per_page_max = 12);
+
+// DNA Assembly: fixed-length reads sampled from a random genome with
+// overlaps, one read per line (Meraculous-style k-mer workload).
+std::string gen_dna_reads(DatagenParams p, std::size_t genome_len = 1u << 20,
+                          std::size_t read_len = 64);
+
+// Netflix: per-movie rating lines: "m<movie>: u<user>,<rating> ...".
+// Users per movie is capped so the per-record user-pair blowup is bounded.
+std::string gen_netflix(DatagenParams p, std::size_t movies = 12000,
+                        std::size_t users = 40000,
+                        std::size_t max_users_per_movie = 14);
+
+// Patent Citation: "C<citing> P<cited>" pairs; cited patents Zipf(0.7).
+std::string gen_patents(DatagenParams p, std::size_t patents = 30000,
+                        double zipf_s = 0.7);
+
+// Geo Location: "<articleId>\t<geo cell string>"; cells Zipf(0.9) over a
+// lat/lon grid.
+std::string gen_geo_articles(DatagenParams p, std::size_t cells = 15000,
+                             double zipf_s = 0.9);
+
+// Paper Table I dataset sizes, scaled 1:1000 (GB -> MB). `app` in
+// {"ii","pvc","dna","netflix","wc","pc","geo"}, `dataset` in 1..4.
+std::size_t table1_bytes(const char* app, int dataset);
+
+}  // namespace sepo::apps

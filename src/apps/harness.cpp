@@ -1,0 +1,36 @@
+#include "apps/harness.hpp"
+
+#include "common/hashing.hpp"
+
+namespace sepo::apps {
+
+std::uint64_t checksum_kv(std::string_view key, std::uint64_t value) noexcept {
+  // Commutative over the record set: summed into the digest by callers.
+  return hash_combine(hash_key(key), hash_u64(value));
+}
+
+std::uint64_t checksum_kv_bytes(std::string_view key, const std::byte* value,
+                                std::size_t value_len) noexcept {
+  return hash_combine(hash_key(key),
+                      hash_bytes(reinterpret_cast<const char*>(value),
+                                 value_len));
+}
+
+double gpu_sim_seconds(const gpusim::StatsSnapshot& stats,
+                       const gpusim::PcieBus& bus,
+                       const gpusim::PcieSnapshot& pcie,
+                       const gpusim::SerializationInputs& serial,
+                       gpusim::GpuTimeBreakdown* breakdown) {
+  const gpusim::GpuTimeBreakdown b =
+      gpusim::gpu_time(gpusim::kGpuDesc, stats, bus, pcie);
+  if (breakdown) *breakdown = b;
+  return b.total + gpusim::serialization_time(gpusim::kGpuDesc, serial);
+}
+
+double cpu_sim_seconds(const gpusim::StatsSnapshot& stats,
+                       const gpusim::SerializationInputs& serial) {
+  return gpusim::cpu_time(gpusim::kCpuDesc, stats) +
+         gpusim::serialization_time(gpusim::kCpuDesc, serial);
+}
+
+}  // namespace sepo::apps

@@ -1,0 +1,117 @@
+// Shared measurement harness for the applications: builds the virtual
+// device, runs an app's GPU (SEPO), CPU-baseline, or pinned-baseline path,
+// and converts the recorded event counts into simulated time (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bigkernel/pipeline.hpp"
+#include "common/hashing.hpp"
+#include "common/strings.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/pcie.hpp"
+
+namespace sepo::apps {
+
+// GPU-side run configuration. Defaults model a card ~1/1000 the paper's
+// GTX 780ti usable capacity (DESIGN.md scaling note): with ~20% consumed by
+// static structures, the heap lands around 3 MB against inputs of 0.2-8 MB.
+struct GpuConfig {
+  std::size_t device_bytes = 4u << 20;
+  std::size_t page_size = 8u << 10;
+  std::uint32_t num_buckets = 1u << 14;
+  // 32 bucket groups: enough allocation spread for lock distribution while
+  // keeping active pages (groups x classes x page) well under the heap
+  // (the §IV-A fragmentation side of the trade-off).
+  std::uint32_t buckets_per_group = 512;
+  std::size_t target_chunk_bytes = 224u << 10;  // BigKernel chunk size
+  std::size_t num_staging_buffers = 2;
+  std::size_t pool_workers = 0;  // 0 = hardware concurrency
+  // Heap override: 0 = all remaining device memory (the default §IV-A
+  // policy). Table III's memory sweep pins the heap explicitly.
+  std::size_t heap_bytes = 0;
+  // Basic-organization halt threshold (§IV-C footnote 5); the ablation bench
+  // sweeps it.
+  double basic_halt_frac = 0.5;
+};
+
+struct CpuConfig {
+  std::uint32_t num_threads = 8;
+  // CPU memory is unconstrained, so the baseline sizes its table for a load
+  // factor around 1 (as a tuned CPU implementation would).
+  std::uint32_t num_buckets = 1u << 17;
+  std::size_t pool_workers = 0;
+};
+
+// One measured run of one implementation of one app.
+struct RunResult {
+  std::string impl;                 // "sepo-gpu", "cpu", "pinned", ...
+  gpusim::StatsSnapshot stats;
+  gpusim::PcieSnapshot pcie;
+  gpusim::SerializationInputs serial;
+  std::uint32_t iterations = 0;     // SEPO iterations (1 when it fits)
+  std::uint64_t table_bytes = 0;    // final hash-table footprint
+  std::uint64_t heap_bytes = 0;     // device heap the table had to fit in
+  std::uint64_t checksum = 0;       // order-independent result digest
+  std::uint64_t keys = 0;           // distinct keys (entries) in the result
+  double sim_seconds = 0;           // modelled time
+  double wall_seconds = 0;          // host wall clock (secondary)
+  gpusim::GpuTimeBreakdown gpu_breakdown{};  // GPU paths only
+};
+
+// Picks a BigKernel chunking for `idx` under `cfg` (implemented in
+// standalone_app.cpp; shared with the MapReduce harness).
+void choose_chunking(const RecordIndex& idx, const GpuConfig& cfg,
+                     bigkernel::PipelineConfig& pcfg);
+
+// Order-independent digests used to cross-validate implementations.
+[[nodiscard]] std::uint64_t checksum_kv(std::string_view key,
+                                        std::uint64_t value) noexcept;
+[[nodiscard]] std::uint64_t checksum_kv_bytes(
+    std::string_view key, const std::byte* value,
+    std::size_t value_len) noexcept;
+
+// Order-independent digest of a finished KV table (anything exposing
+// for_each(fn(key, value_bytes))).
+template <typename Table>
+[[nodiscard]] std::uint64_t digest_kv(const Table& t) {
+  std::uint64_t sum = 0;
+  t.for_each([&](std::string_view k, std::span<const std::byte> v) {
+    sum += checksum_kv_bytes(k, v.data(), v.size());
+  });
+  return sum;
+}
+
+// Order-independent digest of a grouped table (anything exposing
+// for_each_group(fn(key, values))); insensitive to value order and to how
+// duplicate key entries were merged.
+template <typename Table>
+[[nodiscard]] std::uint64_t digest_groups(const Table& t) {
+  std::uint64_t sum = 0;
+  t.for_each_group([&](std::string_view k,
+                       const std::vector<std::span<const std::byte>>& vals) {
+    std::uint64_t vsum = 0;
+    for (const auto& v : vals)
+      vsum += hash_bytes(reinterpret_cast<const char*>(v.data()), v.size());
+    sum += hash_combine(hash_key(k), mix64(vsum));
+  });
+  return sum;
+}
+
+// Simulated time for a GPU-side run.
+[[nodiscard]] double gpu_sim_seconds(const gpusim::StatsSnapshot& stats,
+                                     const gpusim::PcieBus& bus,
+                                     const gpusim::PcieSnapshot& pcie,
+                                     const gpusim::SerializationInputs& serial,
+                                     gpusim::GpuTimeBreakdown* breakdown = nullptr);
+
+// Simulated time for a CPU-side run.
+[[nodiscard]] double cpu_sim_seconds(const gpusim::StatsSnapshot& stats,
+                                     const gpusim::SerializationInputs& serial);
+
+}  // namespace sepo::apps

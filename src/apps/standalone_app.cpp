@@ -1,0 +1,243 @@
+// Framework execution paths shared by the standalone apps.
+#include "apps/standalone_app.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "baselines/cpu_hash_table.hpp"
+#include "baselines/pinned_hash_table.hpp"
+#include "bigkernel/pipeline.hpp"
+#include "common/hashing.hpp"
+#include "common/strings.hpp"
+#include "common/timer.hpp"
+#include "core/sepo_driver.hpp"
+#include "gpusim/device.hpp"
+#include "mapreduce/sepo_emitter.hpp"
+
+namespace sepo::apps {
+
+namespace {
+
+// Largest raw byte span of any `records_per_chunk`-record chunk.
+std::size_t max_chunk_span(const RecordIndex& idx, std::size_t per_chunk) {
+  std::size_t max_span = 1;
+  for (std::size_t lo = 0; lo < idx.size(); lo += per_chunk) {
+    const std::size_t hi = std::min(lo + per_chunk, idx.size());
+    const std::size_t span =
+        idx.offsets[hi - 1] + idx.lengths[hi - 1] - idx.offsets[lo];
+    max_span = std::max(max_span, span);
+  }
+  return max_span;
+}
+
+}  // namespace
+
+// Picks a records-per-chunk so chunks approach cfg.target_chunk_bytes (few
+// bulky PCIe transactions, few kernel launches) while the staging ring stays
+// ≤ 1/4 of device capacity.
+void choose_chunking(const RecordIndex& idx, const GpuConfig& cfg,
+                     bigkernel::PipelineConfig& pcfg) {
+  pcfg.num_staging_buffers = cfg.num_staging_buffers;
+  const std::size_t target = std::min(
+      cfg.target_chunk_bytes, cfg.device_bytes / (4 * cfg.num_staging_buffers));
+  std::size_t total_bytes = 1;
+  if (!idx.offsets.empty())
+    total_bytes = idx.offsets.back() + idx.lengths.back() - idx.offsets[0];
+  const std::size_t avg_record =
+      std::max<std::size_t>(1, total_bytes / std::max<std::size_t>(1, idx.size()));
+  pcfg.records_per_chunk =
+      std::max<std::size_t>(16, target / avg_record);
+  while (true) {
+    pcfg.max_chunk_bytes = max_chunk_span(idx, pcfg.records_per_chunk);
+    if (pcfg.max_chunk_bytes * pcfg.num_staging_buffers <=
+            cfg.device_bytes / 2 ||
+        pcfg.records_per_chunk <= 16)
+      return;
+    pcfg.records_per_chunk /= 2;
+  }
+}
+
+namespace {
+
+// Emitter into the CPU baseline table (never postpones).
+class CpuEmitter final : public mapreduce::Emitter {
+ public:
+  CpuEmitter(baselines::CpuHashTable& t, std::uint32_t tid) noexcept
+      : t_(t), tid_(tid) {}
+  core::Status emit(std::string_view key,
+                    std::span<const std::byte> value) override {
+    t_.insert(tid_, key, value);
+    return core::Status::kSuccess;
+  }
+
+ private:
+  baselines::CpuHashTable& t_;
+  std::uint32_t tid_;
+};
+
+// Emitter into the pinned-memory table (never postpones).
+class PinnedEmitter final : public mapreduce::Emitter {
+ public:
+  explicit PinnedEmitter(baselines::PinnedHashTable& t) noexcept : t_(t) {}
+  core::Status emit(std::string_view key,
+                    std::span<const std::byte> value) override {
+    t_.insert(key, value);
+    return core::Status::kSuccess;
+  }
+
+ private:
+  baselines::PinnedHashTable& t_;
+};
+
+}  // namespace
+
+RunResult StandaloneApp::run_gpu(std::string_view input,
+                                 const GpuConfig& cfg) const {
+  WallTimer timer;
+  gpusim::Device dev(cfg.device_bytes);
+  gpusim::ThreadPool pool(cfg.pool_workers);
+  gpusim::RunStats stats;
+
+  const RecordIndex index = index_lines(input);
+  bigkernel::PipelineConfig pcfg;
+  choose_chunking(index, cfg, pcfg);
+  bigkernel::InputPipeline pipe(dev, pool, stats, pcfg);
+
+  core::HashTableConfig tcfg;
+  tcfg.org = organization();
+  tcfg.num_buckets = cfg.num_buckets;
+  tcfg.buckets_per_group = cfg.buckets_per_group;
+  tcfg.page_size = cfg.page_size;
+  tcfg.combiner = combiner();
+  tcfg.heap_bytes = cfg.heap_bytes;
+  core::SepoHashTable ht(dev, pool, stats, tcfg);
+
+  ProgressTracker progress(index.size(), /*multi_emit=*/true);
+  core::SepoDriver driver({.basic_halt_frac = cfg.basic_halt_frac});
+  const bool divergent = divergent_parse();
+  const core::DriverResult dres = driver.run(
+      ht, pipe, input, index, progress,
+      [&](std::size_t rec, std::string_view body) {
+        if (divergent) stats.add_divergent_units(body.size());
+        mapreduce::SepoEmitter em(ht, progress, rec);
+        map_record(body, em);
+        return em.failed() ? core::Status::kPostpone : core::Status::kSuccess;
+      });
+
+  const auto table_stats = ht.table_stats();
+  const auto load = ht.bucket_load();
+  const core::HostTable table = ht.finalize();
+
+  RunResult r;
+  r.impl = "sepo-gpu";
+  r.stats = stats.snapshot();
+  r.pcie = dev.bus().snapshot();
+  r.serial = {.total_lock_ops = load.total_accesses,
+              .max_same_lock_ops = load.max_bucket_accesses,
+              .serial_atomic_ops = 0};
+  r.iterations = dres.iterations;
+  r.table_bytes = table_stats.table_bytes;
+  r.heap_bytes = ht.page_pool().heap_bytes();
+  r.keys = table.entry_count();
+  r.checksum = organization() == core::Organization::kMultiValued
+                   ? digest_groups(table)
+                   : digest_kv(table);
+  r.sim_seconds =
+      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+RunResult StandaloneApp::run_cpu(std::string_view input,
+                                 const CpuConfig& cfg) const {
+  WallTimer timer;
+  gpusim::ThreadPool pool(cfg.pool_workers);
+  gpusim::RunStats stats;
+
+  baselines::CpuHashTableConfig tcfg;
+  tcfg.org = organization();
+  tcfg.num_buckets = cfg.num_buckets;
+  tcfg.combiner = combiner();
+  baselines::CpuHashTable table(stats, tcfg);
+
+  const RecordIndex index = index_lines(input);
+  const std::size_t n = index.size();
+  pool.run_parties(cfg.num_threads, [&](std::size_t party) {
+    const std::size_t lo = n * party / cfg.num_threads;
+    const std::size_t hi = n * (party + 1) / cfg.num_threads;
+    CpuEmitter em(table, static_cast<std::uint32_t>(party));
+    for (std::size_t rec = lo; rec < hi; ++rec) {
+      const std::string_view body = index.record(input.data(), rec);
+      stats.add_work_units(body.size());
+      map_record(body, em);
+      stats.add_records_processed();
+    }
+  });
+
+  const auto load = table.bucket_load();
+  RunResult r;
+  r.impl = "cpu";
+  r.stats = stats.snapshot();
+  r.serial = {.total_lock_ops = load.total_accesses,
+              .max_same_lock_ops = load.max_bucket_accesses,
+              .serial_atomic_ops = 0};
+  r.iterations = 1;
+  r.table_bytes = table.allocated_bytes();
+  r.keys = table.entry_count();
+  r.checksum = organization() == core::Organization::kMultiValued
+                   ? digest_groups(table)
+                   : digest_kv(table);
+  r.sim_seconds = cpu_sim_seconds(r.stats, r.serial);
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+RunResult StandaloneApp::run_pinned(std::string_view input,
+                                    const GpuConfig& cfg) const {
+  WallTimer timer;
+  gpusim::Device dev(cfg.device_bytes);
+  gpusim::ThreadPool pool(cfg.pool_workers);
+  gpusim::RunStats stats;
+
+  const RecordIndex index = index_lines(input);
+  bigkernel::PipelineConfig pcfg;
+  choose_chunking(index, cfg, pcfg);
+  bigkernel::InputPipeline pipe(dev, pool, stats, pcfg);
+
+  baselines::PinnedHashTableConfig tcfg;
+  tcfg.org = organization();
+  tcfg.num_buckets = cfg.num_buckets;
+  tcfg.combiner = combiner();
+  baselines::PinnedHashTable table(dev, stats, tcfg);
+
+  ProgressTracker progress(index.size());
+  const bool divergent = divergent_parse();
+  const bigkernel::PassResult pass = pipe.run_pass(
+      input, index, progress, [&](std::size_t, std::string_view body) {
+        if (divergent) stats.add_divergent_units(body.size());
+        PinnedEmitter em(table);
+        map_record(body, em);
+        return core::Status::kSuccess;
+      });
+  (void)pass;
+
+  const auto load = table.bucket_load();
+  RunResult r;
+  r.impl = "pinned";
+  r.stats = stats.snapshot();
+  r.pcie = dev.bus().snapshot();
+  r.serial = {.total_lock_ops = load.total_accesses,
+              .max_same_lock_ops = load.max_bucket_accesses,
+              .serial_atomic_ops = 0};
+  r.iterations = 1;
+  r.keys = table.entry_count();
+  r.checksum = organization() == core::Organization::kMultiValued
+                   ? digest_groups(table)
+                   : digest_kv(table);
+  r.sim_seconds =
+      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
+  r.wall_seconds = timer.seconds();
+  return r;
+}
+
+}  // namespace sepo::apps

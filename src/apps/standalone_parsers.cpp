@@ -1,0 +1,169 @@
+// Record parsers and generators for the four standalone applications
+// (paper §VI-A).
+#include <array>
+#include <cstdio>
+
+#include "apps/datagen.hpp"
+#include "apps/standalone_app.hpp"
+
+namespace sepo::apps {
+
+namespace {
+
+std::span<const std::byte> as_value(const std::uint32_t& v) {
+  return std::as_bytes(std::span{&v, 1});
+}
+
+std::span<const std::byte> as_value(const double& v) {
+  return std::as_bytes(std::span{&v, 1});
+}
+
+constexpr int base_index(char c) noexcept {
+  switch (c) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+  }
+  return -1;
+}
+
+}  // namespace
+
+// --- Page View Count: <url, 1>, combining (paper §III-B) ---
+
+std::string PageViewCountApp::generate(std::size_t bytes,
+                                       std::uint64_t seed) const {
+  // A deep URL tail keeps new keys arriving throughout the log so the large
+  // datasets push the table past the device heap.
+  return gen_weblog({.target_bytes = bytes, .seed = seed},
+                    /*distinct_urls=*/400000, /*zipf_s=*/0.7);
+}
+
+void PageViewCountApp::map_record(std::string_view body,
+                                  mapreduce::Emitter& em) const {
+  // ... "GET <url> HTTP/1.1" ...
+  const std::size_t get = body.find("\"GET ");
+  if (get == std::string_view::npos) return;
+  const std::size_t start = get + 5;
+  const std::size_t end = body.find(' ', start);
+  if (end == std::string_view::npos) return;
+  em.emit_u64(body.substr(start, end - start), 1);
+}
+
+// --- Inverted Index: <hyperlink, pagePath>, multi-valued (Figure 3) ---
+
+std::string InvertedIndexApp::generate(std::size_t bytes,
+                                       std::uint64_t seed) const {
+  return gen_html_pages({.target_bytes = bytes, .seed = seed});
+}
+
+void InvertedIndexApp::map_record(std::string_view body,
+                                  mapreduce::Emitter& em) const {
+  const std::size_t tab = body.find('\t');
+  if (tab == std::string_view::npos) return;
+  const std::string_view path = body.substr(0, tab);
+  std::string_view html = body.substr(tab + 1);
+  static constexpr std::string_view kHref = "href=\"";
+  while (true) {
+    const std::size_t at = html.find(kHref);
+    if (at == std::string_view::npos) return;
+    html.remove_prefix(at + kHref.size());
+    const std::size_t close = html.find('"');
+    if (close == std::string_view::npos) return;
+    const std::string_view url = html.substr(0, close);
+    html.remove_prefix(close + 1);
+    if (em.emit(url, std::as_bytes(std::span{path.data(), path.size()})) ==
+        core::Status::kPostpone)
+      return;
+  }
+}
+
+// --- DNA Assembly: <k-mer, extension-edge bitmask>, combining ---
+
+std::string DnaAssemblyApp::generate(std::size_t bytes,
+                                     std::uint64_t seed) const {
+  // Genome length bounds the distinct k-mer count: 128 KiB of genome yields
+  // a table ~4x the default device heap at dataset #4, the paper's extreme
+  // ("grow up to more than four times larger", §I).
+  return gen_dna_reads({.target_bytes = bytes, .seed = seed},
+                       /*genome_len=*/128u << 10, /*read_len=*/64);
+}
+
+void DnaAssemblyApp::map_record(std::string_view body,
+                                mapreduce::Emitter& em) const {
+  if (body.size() < kK) return;
+  for (std::size_t i = 0; i + kK <= body.size(); ++i) {
+    std::uint32_t edges = 0;
+    if (i > 0) {
+      const int prev = base_index(body[i - 1]);
+      if (prev >= 0) edges |= 1u << prev;
+    }
+    if (i + kK < body.size()) {
+      const int next = base_index(body[i + kK]);
+      if (next >= 0) edges |= 1u << (4 + next);
+    }
+    if (em.emit(body.substr(i, kK), as_value(edges)) == core::Status::kPostpone)
+      return;
+  }
+}
+
+// --- Netflix: <userA&userB, similarity contribution>, combining ---
+
+std::string NetflixApp::generate(std::size_t bytes, std::uint64_t seed) const {
+  // 400 users keeps the distinct-pair table within the multi-iteration
+  // regime the paper evaluates rather than blowing past it.
+  return gen_netflix({.target_bytes = bytes, .seed = seed},
+                     /*movies=*/12000, /*users=*/400,
+                     /*max_users_per_movie=*/12);
+}
+
+void NetflixApp::map_record(std::string_view body,
+                            mapreduce::Emitter& em) const {
+  // m<movie>: u<id>,<rating> u<id>,<rating> ...
+  const std::size_t colon = body.find(':');
+  if (colon == std::string_view::npos) return;
+  std::string_view rest = body.substr(colon + 1);
+
+  struct Rater {
+    std::string_view user;
+    int rating;
+  };
+  std::array<Rater, 32> raters;
+  std::size_t n = 0;
+  while (n < raters.size()) {
+    const std::size_t u = rest.find('u');
+    if (u == std::string_view::npos) break;
+    rest.remove_prefix(u);
+    const std::size_t comma = rest.find(',');
+    if (comma == std::string_view::npos) break;
+    raters[n].user = rest.substr(0, comma);
+    raters[n].rating = rest[comma + 1] - '0';
+    ++n;
+    rest.remove_prefix(comma + 1);
+  }
+
+  // Emit one similarity contribution per user pair who co-rated this movie
+  // (Chen & Schlosser's all-pairs similarity [3]).
+  char key[48];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Rater& a = raters[i].user < raters[j].user ? raters[i] : raters[j];
+      const Rater& b = raters[i].user < raters[j].user ? raters[j] : raters[i];
+      if (a.user == b.user) continue;  // same user listed twice
+      const int len = std::snprintf(
+          key, sizeof key, "%.*s&%.*s", static_cast<int>(a.user.size()),
+          a.user.data(), static_cast<int>(b.user.size()), b.user.data());
+      const double contribution =
+          1.0 - static_cast<double>(a.rating > b.rating
+                                        ? a.rating - b.rating
+                                        : b.rating - a.rating) /
+                    4.0;
+      if (em.emit({key, static_cast<std::size_t>(len)},
+                  as_value(contribution)) == core::Status::kPostpone)
+        return;
+    }
+  }
+}
+
+}  // namespace sepo::apps

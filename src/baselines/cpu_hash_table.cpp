@@ -1,0 +1,230 @@
+#include "baselines/cpu_hash_table.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/hashing.hpp"
+
+namespace sepo::baselines {
+
+CpuHashTable::CpuHashTable(gpusim::RunStats& stats, CpuHashTableConfig cfg)
+    : stats_(stats), cfg_(cfg) {
+  if (cfg_.num_buckets == 0 || (cfg_.num_buckets & (cfg_.num_buckets - 1)))
+    throw std::invalid_argument("num_buckets must be a power of two");
+  if (cfg_.org == Organization::kCombining && cfg_.combiner == nullptr)
+    throw std::invalid_argument("combining organization requires a combiner");
+  bucket_mask_ = cfg_.num_buckets - 1;
+  heads_ = std::vector<std::atomic<void*>>(cfg_.num_buckets);
+  for (auto& h : heads_) h.store(nullptr, std::memory_order_relaxed);
+  locks_ = std::vector<gpusim::DeviceLock>(cfg_.num_buckets);
+  bucket_access_.assign(cfg_.num_buckets, 0);
+  arenas_ = std::vector<Arena>(cfg_.max_threads);
+}
+
+CpuHashTable::~CpuHashTable() = default;
+
+void* CpuHashTable::arena_alloc(std::uint32_t tid, std::size_t bytes) {
+  bytes = (bytes + 7u) & ~std::size_t{7};
+  assert(bytes <= cfg_.arena_chunk_bytes);
+  Arena& a = arenas_[tid % arenas_.size()];
+  stats_.add_alloc_ops();
+  if (a.chunks.empty() || a.used_in_chunk + bytes > cfg_.arena_chunk_bytes) {
+    a.chunks.push_back(std::make_unique<std::byte[]>(cfg_.arena_chunk_bytes));
+    a.used_in_chunk = 0;
+  }
+  void* p = a.chunks.back().get() + a.used_in_chunk;
+  a.used_in_chunk += bytes;
+  a.total_used += bytes;
+  return p;
+}
+
+std::size_t CpuHashTable::allocated_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& a : arenas_) n += a.total_used;
+  return n;
+}
+
+std::uint32_t CpuHashTable::bucket_of(std::string_view key) const noexcept {
+  return static_cast<std::uint32_t>(hash_key(key)) & bucket_mask_;
+}
+
+void CpuHashTable::insert(std::uint32_t tid, std::string_view key,
+                          std::span<const std::byte> value) {
+  stats_.add_hash_ops();
+  const std::uint32_t b = bucket_of(key);
+  switch (cfg_.org) {
+    case Organization::kBasic:
+      insert_basic(tid, b, key, value);
+      return;
+    case Organization::kCombining:
+      insert_combining(tid, b, key, value);
+      return;
+    case Organization::kMultiValued:
+      insert_multivalued(tid, b, key, value);
+      return;
+  }
+}
+
+void CpuHashTable::insert_basic(std::uint32_t tid, std::uint32_t b,
+                                std::string_view key,
+                                std::span<const std::byte> value) {
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  auto* e = static_cast<KvEntry*>(arena_alloc(
+      tid, sizeof(KvEntry) + core::pad8(key_len) + core::pad8(val_len)));
+  e->key_len = key_len;
+  e->val_len = val_len;
+  std::memcpy(e->key_data(), key.data(), key_len);
+  if (val_len) std::memcpy(e->value_data(), value.data(), val_len);
+
+  gpusim::DeviceLockGuard guard(locks_[b], stats_);
+  ++bucket_access_[b];
+  e->next = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
+  heads_[b].store(e, std::memory_order_release);
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  stats_.add_inserts_new();
+}
+
+void CpuHashTable::insert_combining(std::uint32_t tid, std::uint32_t b,
+                                    std::string_view key,
+                                    std::span<const std::byte> value) {
+  gpusim::DeviceLockGuard guard(locks_[b], stats_);
+  ++bucket_access_[b];
+  for (auto* e = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
+       e != nullptr; e = e->next) {
+    stats_.add_chain_links();
+    stats_.add_key_compare_bytes(std::min<std::size_t>(e->key_len, key.size()));
+    if (e->key() == key) {
+      cfg_.combiner(e->value_data(), value.data(),
+                    std::min<std::uint32_t>(e->val_len,
+                                            static_cast<std::uint32_t>(value.size())));
+      stats_.add_combines();
+      return;
+    }
+  }
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  auto* e = static_cast<KvEntry*>(arena_alloc(
+      tid, sizeof(KvEntry) + core::pad8(key_len) + core::pad8(val_len)));
+  e->key_len = key_len;
+  e->val_len = val_len;
+  std::memcpy(e->key_data(), key.data(), key_len);
+  if (val_len) std::memcpy(e->value_data(), value.data(), val_len);
+  e->next = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
+  heads_[b].store(e, std::memory_order_release);
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  stats_.add_inserts_new();
+}
+
+void CpuHashTable::insert_multivalued(std::uint32_t tid, std::uint32_t b,
+                                      std::string_view key,
+                                      std::span<const std::byte> value) {
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  gpusim::DeviceLockGuard guard(locks_[b], stats_);
+  ++bucket_access_[b];
+  KeyEntry* ke = nullptr;
+  for (auto* e = static_cast<KeyEntry*>(heads_[b].load(std::memory_order_relaxed));
+       e != nullptr; e = e->next) {
+    stats_.add_chain_links();
+    stats_.add_key_compare_bytes(std::min<std::size_t>(e->key_len, key.size()));
+    if (e->key() == key) {
+      ke = e;
+      break;
+    }
+  }
+  if (ke == nullptr) {
+    const auto key_len = static_cast<std::uint32_t>(key.size());
+    ke = static_cast<KeyEntry*>(
+        arena_alloc(tid, sizeof(KeyEntry) + core::pad8(key_len)));
+    ke->vhead = nullptr;
+    ke->key_len = key_len;
+    ke->pad_ = 0;
+    std::memcpy(ke->key_data(), key.data(), key_len);
+    ke->next = static_cast<KeyEntry*>(heads_[b].load(std::memory_order_relaxed));
+    heads_[b].store(ke, std::memory_order_release);
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add_inserts_new();
+  }
+  auto* ve = static_cast<ValueEntry*>(
+      arena_alloc(tid, sizeof(ValueEntry) + core::pad8(val_len)));
+  ve->val_len = val_len;
+  ve->pad_ = 0;
+  if (val_len) std::memcpy(ve->value_data(), value.data(), val_len);
+  ve->next = ke->vhead;
+  ke->vhead = ve;
+  value_count_.fetch_add(1, std::memory_order_relaxed);
+  stats_.add_value_appends();
+}
+
+CpuHashTable::BucketLoad CpuHashTable::bucket_load() const noexcept {
+  BucketLoad load;
+  for (const std::uint32_t c : bucket_access_) {
+    load.total_accesses += c;
+    load.max_bucket_accesses =
+        std::max<std::uint64_t>(load.max_bucket_accesses, c);
+  }
+  return load;
+}
+
+std::optional<std::span<const std::byte>> CpuHashTable::lookup(
+    std::string_view key) const {
+  for (const auto* e = static_cast<const KvEntry*>(
+           heads_[bucket_of(key)].load(std::memory_order_acquire));
+       e != nullptr; e = e->next)
+    if (e->key() == key) return std::span{e->value_data(), e->val_len};
+  return std::nullopt;
+}
+
+std::vector<std::span<const std::byte>> CpuHashTable::lookup_all(
+    std::string_view key) const {
+  std::vector<std::span<const std::byte>> out;
+  for (const auto* e = static_cast<const KvEntry*>(
+           heads_[bucket_of(key)].load(std::memory_order_acquire));
+       e != nullptr; e = e->next)
+    if (e->key() == key) out.emplace_back(e->value_data(), e->val_len);
+  return out;
+}
+
+std::optional<std::vector<std::span<const std::byte>>>
+CpuHashTable::lookup_group(std::string_view key) const {
+  for (const auto* e = static_cast<const KeyEntry*>(
+           heads_[bucket_of(key)].load(std::memory_order_acquire));
+       e != nullptr; e = e->next) {
+    if (e->key() != key) continue;
+    std::vector<std::span<const std::byte>> vals;
+    for (const auto* v = e->vhead; v != nullptr; v = v->next)
+      vals.emplace_back(v->value_data(), v->val_len);
+    return vals;
+  }
+  return std::nullopt;
+}
+
+void CpuHashTable::for_each(
+    const std::function<void(std::string_view, std::span<const std::byte>)>&
+        fn) const {
+  for (const auto& head : heads_)
+    for (const auto* e =
+             static_cast<const KvEntry*>(head.load(std::memory_order_acquire));
+         e != nullptr; e = e->next)
+      fn(e->key(), std::span{e->value_data(), e->val_len});
+}
+
+void CpuHashTable::for_each_group(
+    const std::function<void(std::string_view,
+                             const std::vector<std::span<const std::byte>>&)>&
+        fn) const {
+  std::vector<std::span<const std::byte>> vals;
+  for (const auto& head : heads_) {
+    for (const auto* e =
+             static_cast<const KeyEntry*>(head.load(std::memory_order_acquire));
+         e != nullptr; e = e->next) {
+      vals.clear();
+      for (const auto* v = e->vhead; v != nullptr; v = v->next)
+        vals.emplace_back(v->value_data(), v->val_len);
+      fn(e->key(), vals);
+    }
+  }
+}
+
+}  // namespace sepo::baselines

@@ -1,0 +1,169 @@
+// CPU multi-threaded baseline hash table (paper §VI-B): "The CPU-based
+// versions use a hash table design similar to our GPU-based hash table
+// design except that they do not use the SEPO model of computation given
+// that the entire hash table fits in CPU memory."
+//
+// Same closed addressing + separate chaining + per-bucket locks + the three
+// bucket organizations; entries are allocated from per-thread chunked
+// arenas, standing in for TCMalloc's thread-cached fast path (§VI-B: "all
+// CPU implementations that require dynamic memory allocation use TCMalloc").
+// All operations record events into a RunStats so the cost model can price
+// the run on the CPU machine description.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/entry_layout.hpp"
+#include "core/sepo.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/launch.hpp"
+
+namespace sepo::baselines {
+
+using core::CombineFn;
+using core::Organization;
+
+struct CpuHashTableConfig {
+  Organization org = Organization::kCombining;
+  std::uint32_t num_buckets = 1u << 15;  // power of two
+  CombineFn combiner = nullptr;
+  std::size_t arena_chunk_bytes = 256u << 10;
+  std::uint32_t max_threads = 64;  // arena slots
+};
+
+class CpuHashTable {
+ public:
+  CpuHashTable(gpusim::RunStats& stats, CpuHashTableConfig cfg);
+  ~CpuHashTable();
+
+  CpuHashTable(const CpuHashTable&) = delete;
+  CpuHashTable& operator=(const CpuHashTable&) = delete;
+
+  // Inserts from worker thread `tid` (selects the thread arena). Always
+  // succeeds — the CPU table has no memory ceiling in this model.
+  void insert(std::uint32_t tid, std::string_view key,
+              std::span<const std::byte> value);
+
+  void insert_u64(std::uint32_t tid, std::string_view key, std::uint64_t v) {
+    insert(tid, key, std::as_bytes(std::span{&v, 1}));
+  }
+
+  // --- queries (single-threaded, after population) ---
+  [[nodiscard]] std::optional<std::span<const std::byte>> lookup(
+      std::string_view key) const;
+  [[nodiscard]] std::vector<std::span<const std::byte>> lookup_all(
+      std::string_view key) const;
+  [[nodiscard]] std::optional<std::vector<std::span<const std::byte>>>
+  lookup_group(std::string_view key) const;
+
+  void for_each(
+      const std::function<void(std::string_view, std::span<const std::byte>)>&
+          fn) const;
+  void for_each_group(
+      const std::function<void(std::string_view,
+                               const std::vector<std::span<const std::byte>>&)>&
+          fn) const;
+
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t value_count() const noexcept {
+    return value_count_.load(std::memory_order_relaxed);
+  }
+  // Total bytes handed out by the arenas (table memory footprint).
+  [[nodiscard]] std::size_t allocated_bytes() const noexcept;
+
+  // Per-bucket access totals for the cost model's serialization term.
+  struct BucketLoad {
+    std::uint64_t total_accesses = 0;
+    std::uint64_t max_bucket_accesses = 0;
+  };
+  [[nodiscard]] BucketLoad bucket_load() const noexcept;
+
+ private:
+  struct KvEntry {   // basic / combining
+    KvEntry* next;
+    std::uint32_t key_len, val_len;
+    [[nodiscard]] char* key_data() noexcept {
+      return reinterpret_cast<char*>(this + 1);
+    }
+    [[nodiscard]] const char* key_data() const noexcept {
+      return reinterpret_cast<const char*>(this + 1);
+    }
+    [[nodiscard]] std::string_view key() const noexcept {
+      return {key_data(), key_len};
+    }
+    [[nodiscard]] std::byte* value_data() noexcept {
+      return reinterpret_cast<std::byte*>(this + 1) + core::pad8(key_len);
+    }
+    [[nodiscard]] const std::byte* value_data() const noexcept {
+      return reinterpret_cast<const std::byte*>(this + 1) +
+             core::pad8(key_len);
+    }
+  };
+
+  struct ValueEntry {
+    ValueEntry* next;
+    std::uint32_t val_len, pad_;
+    [[nodiscard]] const std::byte* value_data() const noexcept {
+      return reinterpret_cast<const std::byte*>(this + 1);
+    }
+    [[nodiscard]] std::byte* value_data() noexcept {
+      return reinterpret_cast<std::byte*>(this + 1);
+    }
+  };
+
+  struct KeyEntry {  // multi-valued
+    KeyEntry* next;
+    ValueEntry* vhead;
+    std::uint32_t key_len, pad_;
+    [[nodiscard]] char* key_data() noexcept {
+      return reinterpret_cast<char*>(this + 1);
+    }
+    [[nodiscard]] const char* key_data() const noexcept {
+      return reinterpret_cast<const char*>(this + 1);
+    }
+    [[nodiscard]] std::string_view key() const noexcept {
+      return {key_data(), key_len};
+    }
+  };
+
+  // Per-thread bump arena (TCMalloc thread-cache stand-in).
+  struct Arena {
+    std::vector<std::unique_ptr<std::byte[]>> chunks;
+    std::size_t used_in_chunk = 0;
+    std::size_t total_used = 0;
+  };
+
+  void* arena_alloc(std::uint32_t tid, std::size_t bytes);
+
+  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
+
+  void insert_basic(std::uint32_t tid, std::uint32_t b, std::string_view key,
+                    std::span<const std::byte> value);
+  void insert_combining(std::uint32_t tid, std::uint32_t b,
+                        std::string_view key,
+                        std::span<const std::byte> value);
+  void insert_multivalued(std::uint32_t tid, std::uint32_t b,
+                          std::string_view key,
+                          std::span<const std::byte> value);
+
+  gpusim::RunStats& stats_;
+  CpuHashTableConfig cfg_;
+  std::uint32_t bucket_mask_;
+  std::vector<std::atomic<void*>> heads_;
+  std::vector<gpusim::DeviceLock> locks_;
+  std::vector<std::uint32_t> bucket_access_;  // incremented under bucket lock
+  std::vector<Arena> arenas_;
+  std::atomic<std::size_t> entry_count_{0};
+  std::atomic<std::size_t> value_count_{0};
+};
+
+}  // namespace sepo::baselines

@@ -1,0 +1,89 @@
+#include "baselines/paging_sim.hpp"
+
+#include <list>
+#include <unordered_map>
+
+#include "common/hashing.hpp"
+#include "core/entry_layout.hpp"
+
+namespace sepo::baselines {
+
+namespace {
+constexpr std::uint32_t kNull = ~0u;
+}
+
+TracedCombiningTable::TracedCombiningTable(std::uint32_t num_buckets)
+    : bucket_mask_(num_buckets - 1),
+      bump_(static_cast<std::uint64_t>(num_buckets) * 16),  // bucket array
+      heads_(num_buckets, kNull) {}
+
+void TracedCombiningTable::insert_count(std::string_view key) {
+  const std::uint32_t b =
+      static_cast<std::uint32_t>(hash_key(key)) & bucket_mask_;
+  // Touch the bucket head.
+  trace_.push_back(bucket_base_ + static_cast<std::uint64_t>(b) * 16);
+  for (std::uint32_t i = heads_[b]; i != kNull; i = entries_[i].next) {
+    Entry& e = entries_[i];
+    trace_.push_back(e.addr);  // probe reads the entry
+    if (e.key == key) {
+      ++e.count;
+      trace_.push_back(e.addr + sizeof(core::KvEntry) +
+                       core::pad8(e.key_len));  // value update
+      return;
+    }
+  }
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const std::uint64_t sz = core::KvEntry::byte_size(key_len, 8);
+  Entry e;
+  e.addr = bump_;
+  bump_ += sz;
+  e.count = 1;
+  e.next = heads_[b];
+  e.key_len = key_len;
+  e.key = std::string(key);
+  heads_[b] = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(std::move(e));
+  trace_.push_back(entries_.back().addr);  // entry write
+}
+
+PagingResult simulate_lru(std::span<const std::uint64_t> trace,
+                          std::uint64_t page_size, std::uint64_t mem_bytes) {
+  PagingResult result;
+  const std::uint64_t capacity = mem_bytes / page_size;
+  std::list<std::uint64_t> lru;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> pos;
+  std::unordered_map<std::uint64_t, bool> ever_seen;
+
+  for (const std::uint64_t addr : trace) {
+    ++result.accesses;
+    const std::uint64_t page = addr / page_size;
+    if (!ever_seen[page]) {
+      ever_seen[page] = true;
+      ++result.pages_touched;
+    }
+    const auto it = pos.find(page);
+    if (it != pos.end()) {
+      lru.splice(lru.begin(), lru, it->second);  // hit: refresh
+      continue;
+    }
+    // Miss. Cold fills (cache below capacity) are free: the paper counts
+    // replacements only.
+    if (pos.size() >= capacity && capacity > 0) {
+      const std::uint64_t victim = lru.back();
+      lru.pop_back();
+      pos.erase(victim);
+      ++result.replacements;
+      result.bytes_transferred += page_size;
+    }
+    if (capacity > 0) {
+      lru.push_front(page);
+      pos[page] = lru.begin();
+    } else {
+      ++result.replacements;
+      result.bytes_transferred += page_size;
+    }
+  }
+  return result;
+}
+
+}  // namespace sepo::baselines

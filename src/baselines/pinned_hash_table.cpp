@@ -1,0 +1,221 @@
+#include "baselines/pinned_hash_table.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/hashing.hpp"
+
+namespace sepo::baselines {
+
+PinnedHashTable::PinnedHashTable(gpusim::Device& dev, gpusim::RunStats& stats,
+                                 PinnedHashTableConfig cfg)
+    : dev_(dev), stats_(stats), cfg_(cfg) {
+  if (cfg_.num_buckets == 0 || (cfg_.num_buckets & (cfg_.num_buckets - 1)))
+    throw std::invalid_argument("num_buckets must be a power of two");
+  if (cfg_.org == core::Organization::kCombining && cfg_.combiner == nullptr)
+    throw std::invalid_argument("combining organization requires a combiner");
+  bucket_mask_ = cfg_.num_buckets - 1;
+  // Bucket array + locks are device-resident.
+  dev_.alloc_static(static_cast<std::size_t>(cfg_.num_buckets) * 12);
+  heads_ = std::vector<std::atomic<void*>>(cfg_.num_buckets);
+  for (auto& h : heads_) h.store(nullptr, std::memory_order_relaxed);
+  locks_ = std::vector<gpusim::DeviceLock>(cfg_.num_buckets);
+  bucket_access_.assign(cfg_.num_buckets, 0);
+}
+
+void* PinnedHashTable::pinned_alloc(std::size_t bytes) {
+  bytes = (bytes + 7u) & ~std::size_t{7};
+  stats_.add_alloc_ops();
+  gpusim::DeviceLockGuard guard(heap_lock_, stats_);
+  if (heap_chunks_.empty() ||
+      used_in_chunk_ + bytes > cfg_.heap_chunk_bytes) {
+    heap_chunks_.push_back(
+        std::make_unique<std::byte[]>(cfg_.heap_chunk_bytes));
+    used_in_chunk_ = 0;
+  }
+  void* p = heap_chunks_.back().get() + used_in_chunk_;
+  used_in_chunk_ += bytes;
+  return p;
+}
+
+std::uint32_t PinnedHashTable::bucket_of(std::string_view key) const noexcept {
+  return static_cast<std::uint32_t>(hash_key(key)) & bucket_mask_;
+}
+
+void PinnedHashTable::insert(std::string_view key,
+                             std::span<const std::byte> value) {
+  stats_.add_hash_ops();
+  const std::uint32_t b = bucket_of(key);
+  switch (cfg_.org) {
+    case core::Organization::kBasic:
+      insert_basic(b, key, value);
+      return;
+    case core::Organization::kCombining:
+      insert_combining(b, key, value);
+      return;
+    case core::Organization::kMultiValued:
+      insert_multivalued(b, key, value);
+      return;
+  }
+}
+
+void PinnedHashTable::insert_basic(std::uint32_t b, std::string_view key,
+                                   std::span<const std::byte> value) {
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  const std::size_t sz =
+      sizeof(KvEntry) + core::pad8(key_len) + core::pad8(val_len);
+  auto* e = static_cast<KvEntry*>(pinned_alloc(sz));
+
+  gpusim::DeviceLockGuard guard(locks_[b], stats_);
+  ++bucket_access_[b];
+  e->next = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
+  e->key_len = key_len;
+  e->val_len = val_len;
+  std::memcpy(e->key_data(), key.data(), key_len);
+  if (val_len) std::memcpy(e->value_data(), value.data(), val_len);
+  dev_.bus().remote(sz);  // entry materialized across the bus
+  heads_[b].store(e, std::memory_order_release);
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  stats_.add_inserts_new();
+}
+
+void PinnedHashTable::insert_combining(std::uint32_t b, std::string_view key,
+                                       std::span<const std::byte> value) {
+  gpusim::DeviceLockGuard guard(locks_[b], stats_);
+  ++bucket_access_[b];
+  for (auto* e = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
+       e != nullptr; e = e->next) {
+    stats_.add_chain_links();
+    // Each probe reads the remote entry header + key.
+    dev_.bus().remote(sizeof(KvEntry) + e->key_len);
+    stats_.add_key_compare_bytes(std::min<std::size_t>(e->key_len, key.size()));
+    if (e->key() == key) {
+      cfg_.combiner(e->value_data(), value.data(),
+                    std::min<std::uint32_t>(
+                        e->val_len, static_cast<std::uint32_t>(value.size())));
+      // Read-modify-write of the remote value.
+      dev_.bus().remote(2 * e->val_len);
+      stats_.add_combines();
+      return;
+    }
+  }
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  const std::size_t sz =
+      sizeof(KvEntry) + core::pad8(key_len) + core::pad8(val_len);
+  auto* e = static_cast<KvEntry*>(pinned_alloc(sz));
+  e->next = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
+  e->key_len = key_len;
+  e->val_len = val_len;
+  std::memcpy(e->key_data(), key.data(), key_len);
+  if (val_len) std::memcpy(e->value_data(), value.data(), val_len);
+  dev_.bus().remote(sz);
+  heads_[b].store(e, std::memory_order_release);
+  entry_count_.fetch_add(1, std::memory_order_relaxed);
+  stats_.add_inserts_new();
+}
+
+void PinnedHashTable::insert_multivalued(std::uint32_t b, std::string_view key,
+                                         std::span<const std::byte> value) {
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  gpusim::DeviceLockGuard guard(locks_[b], stats_);
+  ++bucket_access_[b];
+  KeyEntry* ke = nullptr;
+  for (auto* e = static_cast<KeyEntry*>(heads_[b].load(std::memory_order_relaxed));
+       e != nullptr; e = e->next) {
+    stats_.add_chain_links();
+    dev_.bus().remote(sizeof(KeyEntry) + e->key_len);
+    stats_.add_key_compare_bytes(std::min<std::size_t>(e->key_len, key.size()));
+    if (e->key() == key) {
+      ke = e;
+      break;
+    }
+  }
+  if (ke == nullptr) {
+    const auto key_len = static_cast<std::uint32_t>(key.size());
+    const std::size_t ksz = sizeof(KeyEntry) + core::pad8(key_len);
+    ke = static_cast<KeyEntry*>(pinned_alloc(ksz));
+    ke->vhead = nullptr;
+    ke->key_len = key_len;
+    ke->pad_ = 0;
+    std::memcpy(ke->key_data(), key.data(), key_len);
+    ke->next = static_cast<KeyEntry*>(heads_[b].load(std::memory_order_relaxed));
+    dev_.bus().remote(ksz);
+    heads_[b].store(ke, std::memory_order_release);
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+    stats_.add_inserts_new();
+  }
+  const std::size_t vsz = sizeof(ValueEntry) + core::pad8(val_len);
+  auto* ve = static_cast<ValueEntry*>(pinned_alloc(vsz));
+  ve->val_len = val_len;
+  ve->pad_ = 0;
+  if (val_len) std::memcpy(ve->value_data(), value.data(), val_len);
+  ve->next = ke->vhead;
+  // Write the value entry and update the remote key's list head.
+  dev_.bus().remote(vsz + sizeof(void*));
+  ke->vhead = ve;
+  stats_.add_value_appends();
+}
+
+std::optional<std::span<const std::byte>> PinnedHashTable::lookup(
+    std::string_view key) const {
+  for (const auto* e = static_cast<const KvEntry*>(
+           heads_[bucket_of(key)].load(std::memory_order_acquire));
+       e != nullptr; e = e->next)
+    if (e->key() == key) return std::span{e->value_data(), e->val_len};
+  return std::nullopt;
+}
+
+std::optional<std::vector<std::span<const std::byte>>>
+PinnedHashTable::lookup_group(std::string_view key) const {
+  for (const auto* e = static_cast<const KeyEntry*>(
+           heads_[bucket_of(key)].load(std::memory_order_acquire));
+       e != nullptr; e = e->next) {
+    if (e->key() != key) continue;
+    std::vector<std::span<const std::byte>> vals;
+    for (const auto* v = e->vhead; v != nullptr; v = v->next)
+      vals.emplace_back(v->value_data(), v->val_len);
+    return vals;
+  }
+  return std::nullopt;
+}
+
+void PinnedHashTable::for_each(
+    const std::function<void(std::string_view, std::span<const std::byte>)>&
+        fn) const {
+  for (const auto& head : heads_)
+    for (const auto* e =
+             static_cast<const KvEntry*>(head.load(std::memory_order_acquire));
+         e != nullptr; e = e->next)
+      fn(e->key(), std::span{e->value_data(), e->val_len});
+}
+
+void PinnedHashTable::for_each_group(
+    const std::function<void(std::string_view,
+                             const std::vector<std::span<const std::byte>>&)>&
+        fn) const {
+  std::vector<std::span<const std::byte>> vals;
+  for (const auto& head : heads_) {
+    for (const auto* e = static_cast<const KeyEntry*>(
+             head.load(std::memory_order_acquire));
+         e != nullptr; e = e->next) {
+      vals.clear();
+      for (const auto* v = e->vhead; v != nullptr; v = v->next)
+        vals.emplace_back(v->value_data(), v->val_len);
+      fn(e->key(), vals);
+    }
+  }
+}
+
+PinnedHashTable::BucketLoad PinnedHashTable::bucket_load() const noexcept {
+  BucketLoad load;
+  for (const std::uint32_t c : bucket_access_) {
+    load.total_accesses += c;
+    load.max_bucket_accesses =
+        std::max<std::uint64_t>(load.max_bucket_accesses, c);
+  }
+  return load;
+}
+
+}  // namespace sepo::baselines

@@ -1,0 +1,149 @@
+// Pinned-in-CPU-memory hash table baseline (paper §VI-D).
+//
+// "We modified our dynamic memory allocator to pre-allocate its heap as a
+// pinned CPU memory region (thus storing the content of the hash table in
+// CPU memory). Everything else is kept in GPU memory for higher memory
+// performance (e.g. locks)."
+//
+// GPU threads therefore dereference hash-table entries across the PCIe bus,
+// one small transaction per access — the "many small PCIe transactions"
+// whose cost the experiment demonstrates. The bucket array and its locks
+// stay device-resident; entry reads (chain probes) and entry writes
+// (materialization, combining) are metered on the bus's remote counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/entry_layout.hpp"
+#include "core/sepo.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+
+namespace sepo::baselines {
+
+struct PinnedHashTableConfig {
+  core::Organization org = core::Organization::kCombining;
+  std::uint32_t num_buckets = 1u << 15;
+  core::CombineFn combiner = nullptr;
+  std::size_t heap_chunk_bytes = 1u << 20;  // pinned-region growth step
+};
+
+class PinnedHashTable {
+ public:
+  // `dev` supplies the bus to meter and hosts the bucket array + locks.
+  PinnedHashTable(gpusim::Device& dev, gpusim::RunStats& stats,
+                  PinnedHashTableConfig cfg);
+
+  // Device-side insert. Never postpones: CPU memory is effectively
+  // unbounded, which is this design's selling point — and its performance
+  // trap.
+  void insert(std::string_view key, std::span<const std::byte> value);
+
+  void insert_u64(std::string_view key, std::uint64_t v) {
+    insert(key, std::as_bytes(std::span{&v, 1}));
+  }
+
+  // Host-side read API (no bus cost: the data already lives in CPU memory).
+  [[nodiscard]] std::optional<std::span<const std::byte>> lookup(
+      std::string_view key) const;
+  void for_each(
+      const std::function<void(std::string_view, std::span<const std::byte>)>&
+          fn) const;
+  void for_each_group(
+      const std::function<void(std::string_view,
+                               const std::vector<std::span<const std::byte>>&)>&
+          fn) const;
+  [[nodiscard]] std::optional<std::vector<std::span<const std::byte>>>
+  lookup_group(std::string_view key) const;
+
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return entry_count_.load(std::memory_order_relaxed);
+  }
+
+  struct BucketLoad {
+    std::uint64_t total_accesses = 0;
+    std::uint64_t max_bucket_accesses = 0;
+  };
+  [[nodiscard]] BucketLoad bucket_load() const noexcept;
+
+ private:
+  // Entries reuse the CPU layouts: native pointers within the pinned region.
+  struct KvEntry {
+    KvEntry* next;
+    std::uint32_t key_len, val_len;
+    [[nodiscard]] const char* key_data() const noexcept {
+      return reinterpret_cast<const char*>(this + 1);
+    }
+    [[nodiscard]] char* key_data() noexcept {
+      return reinterpret_cast<char*>(this + 1);
+    }
+    [[nodiscard]] std::string_view key() const noexcept {
+      return {key_data(), key_len};
+    }
+    [[nodiscard]] const std::byte* value_data() const noexcept {
+      return reinterpret_cast<const std::byte*>(this + 1) +
+             core::pad8(key_len);
+    }
+    [[nodiscard]] std::byte* value_data() noexcept {
+      return reinterpret_cast<std::byte*>(this + 1) + core::pad8(key_len);
+    }
+  };
+  struct ValueEntry {
+    ValueEntry* next;
+    std::uint32_t val_len, pad_;
+    [[nodiscard]] const std::byte* value_data() const noexcept {
+      return reinterpret_cast<const std::byte*>(this + 1);
+    }
+    [[nodiscard]] std::byte* value_data() noexcept {
+      return reinterpret_cast<std::byte*>(this + 1);
+    }
+  };
+  struct KeyEntry {
+    KeyEntry* next;
+    ValueEntry* vhead;
+    std::uint32_t key_len, pad_;
+    [[nodiscard]] const char* key_data() const noexcept {
+      return reinterpret_cast<const char*>(this + 1);
+    }
+    [[nodiscard]] char* key_data() noexcept {
+      return reinterpret_cast<char*>(this + 1);
+    }
+    [[nodiscard]] std::string_view key() const noexcept {
+      return {key_data(), key_len};
+    }
+  };
+
+  void* pinned_alloc(std::size_t bytes);
+  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
+
+  void insert_basic(std::uint32_t b, std::string_view key,
+                    std::span<const std::byte> value);
+  void insert_combining(std::uint32_t b, std::string_view key,
+                        std::span<const std::byte> value);
+  void insert_multivalued(std::uint32_t b, std::string_view key,
+                          std::span<const std::byte> value);
+
+  gpusim::Device& dev_;
+  gpusim::RunStats& stats_;
+  PinnedHashTableConfig cfg_;
+  std::uint32_t bucket_mask_;
+
+  std::vector<std::atomic<void*>> heads_;       // device-resident
+  std::vector<gpusim::DeviceLock> locks_;       // device-resident
+  std::vector<std::uint32_t> bucket_access_;
+
+  gpusim::DeviceLock heap_lock_;                // pinned-region bump alloc
+  std::vector<std::unique_ptr<std::byte[]>> heap_chunks_;
+  std::size_t used_in_chunk_ = 0;
+  std::atomic<std::size_t> entry_count_{0};
+};
+
+}  // namespace sepo::baselines

@@ -1,0 +1,83 @@
+#include "bigkernel/pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <stdexcept>
+
+namespace sepo::bigkernel {
+
+InputPipeline::InputPipeline(gpusim::Device& dev, gpusim::ThreadPool& pool,
+                             gpusim::RunStats& stats, PipelineConfig cfg)
+    : dev_(dev), pool_(pool), stats_(stats), cfg_(cfg) {
+  if (cfg_.records_per_chunk == 0 || cfg_.num_staging_buffers == 0)
+    throw std::invalid_argument("invalid pipeline configuration");
+  staging_.reserve(cfg_.num_staging_buffers);
+  for (std::size_t i = 0; i < cfg_.num_staging_buffers; ++i)
+    staging_.push_back(dev_.alloc_static(cfg_.max_chunk_bytes, 64));
+}
+
+PassResult InputPipeline::run_pass(std::string_view input,
+                                   const RecordIndex& index,
+                                   ProgressTracker& progress,
+                                   const TaskFn& task,
+                                   const std::function<bool()>& halted) {
+  PassResult result;
+  const std::size_t n = index.size();
+  assert(progress.num_tasks() == n);
+
+  std::size_t ring = 0;
+  for (std::size_t lo = 0; lo < n; lo += cfg_.records_per_chunk) {
+    if (halted && halted()) {
+      result.halted = true;
+      break;
+    }
+    const std::size_t hi = std::min(lo + cfg_.records_per_chunk, n);
+
+    // Skip fully-processed chunks: no staging transfer, no kernel.
+    if (progress.first_pending_from(lo) >= hi) {
+      ++result.chunks_skipped;
+      continue;
+    }
+
+    // Stage the chunk's raw byte range into the next ring buffer.
+    const std::uint64_t chunk_base = index.offsets[lo];
+    const std::uint64_t chunk_end =
+        index.offsets[hi - 1] + index.lengths[hi - 1];
+    const std::uint64_t chunk_bytes = chunk_end - chunk_base;
+    if (chunk_bytes > cfg_.max_chunk_bytes)
+      throw std::runtime_error("chunk exceeds staging buffer size");
+    const gpusim::DevPtr buf = staging_[ring];
+    ring = (ring + 1) % staging_.size();
+    dev_.copy_h2d(buf, input.data() + chunk_base, chunk_bytes);
+    ++result.chunks_staged;
+    result.bytes_staged += chunk_bytes;
+
+    // Kernel over the chunk's records. Records read their bodies from the
+    // device-resident staging buffer.
+    gpusim::launch(
+        pool_, stats_, hi - lo,
+        [&](std::size_t i) {
+          const std::size_t rec = lo + i;
+          stats_.add_records_scanned();
+          if (progress.is_done(rec)) return;
+          if (halted && halted()) return;
+          const std::uint64_t off = index.offsets[rec] - chunk_base;
+          const std::string_view body{
+              reinterpret_cast<const char*>(dev_.ptr(buf + off)),
+              index.lengths[rec]};
+          stats_.add_work_units(body.size());
+          if (task(rec, body) == core::Status::kSuccess) {
+            progress.mark_done(rec);
+            stats_.add_records_processed();
+          } else {
+            stats_.add_records_postponed();
+          }
+        },
+        {.grid_threads = cfg_.grid_threads});
+  }
+  if (!result.halted && halted && halted()) result.halted = true;
+  return result;
+}
+
+}  // namespace sepo::bigkernel

@@ -1,0 +1,113 @@
+// Atomic bitmap used by the SEPO model to track which input records have been
+// successfully processed (paper §III-B: "We keep track of whether the input
+// records have been successfully processed or not in a bitmap that has one bit
+// per input record").
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sepo {
+
+// Fixed-size bitmap with thread-safe set/test. Bits start cleared.
+//
+// The common access pattern is: many virtual GPU threads set bits
+// concurrently during an iteration; the host then scans for unset bits to
+// decide what the next iteration must re-process.
+class AtomicBitmap {
+ public:
+  AtomicBitmap() = default;
+
+  explicit AtomicBitmap(std::size_t num_bits) { reset(num_bits); }
+
+  // Re-initializes to `num_bits` cleared bits.
+  void reset(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign(word_count(), Word{});
+  }
+
+  // Clears all bits, keeping the size.
+  void clear() {
+    for (auto& w : words_) w.v.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return num_bits_; }
+
+  // Atomically sets bit `i`. Returns true iff the bit was previously unset.
+  bool set(std::size_t i) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].v.fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) == 0;
+  }
+
+  // Atomically clears bit `i`. Returns true iff the bit was previously set.
+  bool unset(std::size_t i) noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    const std::uint64_t old =
+        words_[i >> 6].v.fetch_and(~mask, std::memory_order_acq_rel);
+    return (old & mask) != 0;
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    return (words_[i >> 6].v.load(std::memory_order_acquire) & mask) != 0;
+  }
+
+  // Number of set bits. Not linearizable under concurrent mutation; callers
+  // use it between kernel launches when the bitmap is quiescent.
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& w : words_)
+      n += static_cast<std::size_t>(
+          std::popcount(w.v.load(std::memory_order_relaxed)));
+    // The last word may contain bits past num_bits_; they are never set, so
+    // no correction is needed.
+    return n;
+  }
+
+  [[nodiscard]] bool all() const noexcept { return count() == num_bits_; }
+
+  // Index of the first unset bit at or after `from`, or size() if none.
+  [[nodiscard]] std::size_t first_unset_from(std::size_t from) const noexcept {
+    if (from >= num_bits_) return num_bits_;
+    std::size_t wi = from >> 6;
+    // Mask off bits below `from` in the first word by treating them as set.
+    std::uint64_t w = words_[wi].v.load(std::memory_order_relaxed) |
+                      ((std::uint64_t{1} << (from & 63)) - 1);
+    while (true) {
+      const std::uint64_t inv = ~w;
+      if (inv != 0) {
+        const std::size_t bit =
+            (wi << 6) + static_cast<std::size_t>(std::countr_zero(inv));
+        return bit < num_bits_ ? bit : num_bits_;
+      }
+      if (++wi >= words_.size()) return num_bits_;
+      w = words_[wi].v.load(std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Word {
+    std::atomic<std::uint64_t> v{0};
+    Word() = default;
+    Word(const Word& o) : v(o.v.load(std::memory_order_relaxed)) {}
+    Word& operator=(const Word& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return (num_bits_ + 63) / 64;
+  }
+
+  std::size_t num_bits_ = 0;
+  std::vector<Word> words_;
+};
+
+}  // namespace sepo

@@ -1,0 +1,86 @@
+// Per-task progress tracking for the SEPO model.
+//
+// The paper's applications emit exactly one KV pair per input record, so a
+// one-bit-per-record bitmap suffices (§III-B). Our MapReduce runtime also
+// supports map functions that emit several pairs per record; for those, a
+// record is "done" only when all of its emissions have been accepted, and a
+// per-record resume counter remembers how many leading emissions already
+// succeeded so re-execution (the SEPO re-issue) skips them instead of
+// double-inserting. See DESIGN.md §2 (mapreduce).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.hpp"
+
+namespace sepo {
+
+class ProgressTracker {
+ public:
+  ProgressTracker() = default;
+
+  explicit ProgressTracker(std::size_t num_tasks, bool multi_emit = false) {
+    reset(num_tasks, multi_emit);
+  }
+
+  void reset(std::size_t num_tasks, bool multi_emit = false) {
+    done_.reset(num_tasks);
+    multi_emit_ = multi_emit;
+    if (multi_emit) {
+      resume_.assign(num_tasks, Counter{});
+    } else {
+      resume_.clear();
+    }
+  }
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return done_.size(); }
+
+  [[nodiscard]] bool is_done(std::size_t task) const noexcept {
+    return done_.test(task);
+  }
+
+  // Marks `task` fully processed. Returns true if it was not done before.
+  bool mark_done(std::size_t task) noexcept { return done_.set(task); }
+
+  // How many leading emissions of `task` have already been accepted.
+  [[nodiscard]] std::uint32_t resume_point(std::size_t task) const noexcept {
+    return multi_emit_ ? resume_[task].v.load(std::memory_order_acquire) : 0;
+  }
+
+  // Records that emission index `idx` of `task` succeeded. Emissions succeed
+  // in order within one (re-)execution of the task, so a simple store of
+  // idx+1 is correct: only the single virtual thread executing the task
+  // writes its counter.
+  void advance(std::size_t task, std::uint32_t idx) noexcept {
+    if (multi_emit_)
+      resume_[task].v.store(idx + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t done_count() const noexcept { return done_.count(); }
+  [[nodiscard]] bool all_done() const noexcept { return done_.all(); }
+
+  [[nodiscard]] std::size_t first_pending_from(std::size_t from) const noexcept {
+    return done_.first_unset_from(from);
+  }
+
+  [[nodiscard]] const AtomicBitmap& bitmap() const noexcept { return done_; }
+
+ private:
+  struct Counter {
+    std::atomic<std::uint32_t> v{0};
+    Counter() = default;
+    Counter(const Counter& o) : v(o.v.load(std::memory_order_relaxed)) {}
+    Counter& operator=(const Counter& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  AtomicBitmap done_;
+  std::vector<Counter> resume_;
+  bool multi_emit_ = false;
+};
+
+}  // namespace sepo

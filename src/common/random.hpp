@@ -1,0 +1,103 @@
+// Deterministic random number generation and skewed samplers for the
+// synthetic dataset generators (DESIGN.md §1: proprietary inputs are replaced
+// with synthetic equivalents whose key-frequency distributions drive the same
+// hash-table behaviour).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sepo {
+
+// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept {
+    // seed via splitmix64 so similar seeds give unrelated streams
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free approximation is fine here;
+    // exactness of the distribution is not load-bearing for generators.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+// Zipfian sampler over [0, n) with exponent `s`, using the classic
+// inverse-CDF-over-precomputed-prefix method. Used to model skewed key
+// popularity (URLs in web logs, words in documents), which is what creates
+// the duplicate-key combining opportunities and the Word Count lock
+// contention the paper discusses (§VI-B).
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+  std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.uniform();
+    // binary search for first cdf >= u
+    std::size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sepo

@@ -1,0 +1,57 @@
+#include "common/strings.hpp"
+
+namespace sepo {
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool parse_u64(std::string_view& s, std::uint64_t& out) {
+  if (s.empty() || s.front() < '0' || s.front() > '9') return false;
+  std::uint64_t v = 0;
+  std::size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    ++i;
+  }
+  s.remove_prefix(i);
+  out = v;
+  return true;
+}
+
+RecordIndex index_lines(std::string_view data) {
+  RecordIndex idx;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    if (end > start) {  // skip empty lines
+      idx.offsets.push_back(start);
+      idx.lengths.push_back(static_cast<std::uint32_t>(end - start));
+    }
+    start = end + 1;
+  }
+  return idx;
+}
+
+}  // namespace sepo

@@ -1,0 +1,37 @@
+// Small string utilities used by the applications' record parsers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sepo {
+
+// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// Parses a non-negative decimal integer from the front of `s`; returns the
+// value and leaves `s` positioned after the digits. Returns false if `s`
+// does not start with a digit.
+bool parse_u64(std::string_view& s, std::uint64_t& out);
+
+// Builds an index of newline-terminated records over `data`: offsets of
+// record starts, excluding the trailing newline from record bodies. The last
+// record need not be newline-terminated.
+struct RecordIndex {
+  std::vector<std::uint64_t> offsets;  // start of each record
+  std::vector<std::uint32_t> lengths;  // record body length (no '\n')
+
+  [[nodiscard]] std::size_t size() const noexcept { return offsets.size(); }
+  [[nodiscard]] std::string_view record(const char* base, std::size_t i) const {
+    return {base + offsets[i], lengths[i]};
+  }
+};
+
+RecordIndex index_lines(std::string_view data);
+
+}  // namespace sepo

@@ -1,0 +1,34 @@
+// Console table / CSV rendering used by the bench harnesses to print the
+// paper's tables and figure series (EXPERIMENTS.md records the output).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sepo {
+
+// Column-aligned text table with an optional CSV dump. Cells are strings;
+// helpers format common numeric types.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& add_row(std::vector<std::string> cells);
+
+  // Renders an aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  // Renders comma-separated values (no quoting; callers avoid commas).
+  void print_csv(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_bytes(unsigned long long bytes);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sepo

@@ -1,0 +1,26 @@
+// Wall-clock timing helpers. Benches report host wall-clock alongside the
+// simulated times produced by gpusim::CostModel (DESIGN.md §5).
+#pragma once
+
+#include <chrono>
+
+namespace sepo {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace sepo

@@ -1,0 +1,174 @@
+// The SEPO hash table (paper §IV): closed addressing with separate chaining,
+// entries dynamically allocated from the bucket-group allocator, growable
+// beyond device memory via the SEPO iteration protocol.
+//
+// Device-side operations (insert) are called from kernel code; the iteration
+// protocol (begin_iteration / end_iteration / finalize) is called from the
+// host between kernel launches, exactly as in Figure 5.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "alloc/bucket_group_allocator.hpp"
+#include "alloc/host_heap.hpp"
+#include "alloc/page_pool.hpp"
+#include "core/entry_layout.hpp"
+#include "core/host_table.hpp"
+#include "core/sepo.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace sepo::core {
+
+struct HashTableConfig {
+  Organization org = Organization::kCombining;
+  std::uint32_t num_buckets = 1u << 14;     // power of two
+  // §IV-A trade-off knob. Keep groups x page-classes x page_size well below
+  // the heap: every group holds partially-filled active pages, and too many
+  // groups strand the heap in fragmentation (more SEPO iterations).
+  std::uint32_t buckets_per_group = 512;
+  std::size_t page_size = 8u << 10;
+  CombineFn combiner = nullptr;             // required for kCombining
+  // Heap size: 0 = take all remaining device memory (paper §IV-A).
+  std::size_t heap_bytes = 0;
+  // Multi-valued livelock valve (see DESIGN.md "resident-key cap"): when
+  // key pages kept resident for pending values exceed this fraction of the
+  // pool, they are flushed anyway. Retried records then materialize a
+  // duplicate key entry in the same bucket; HostTable merges duplicates at
+  // read time.
+  double max_resident_key_frac = 0.5;
+};
+
+struct HashTableStats {
+  std::uint64_t resident_entry_bytes = 0;  // bytes currently in device pages
+  std::uint64_t flushed_bytes = 0;         // total bytes ever flushed to host
+  std::uint64_t flush_pages = 0;           // pages flushed
+  std::uint64_t table_bytes = 0;           // flushed + resident (table size)
+};
+
+class SepoHashTable {
+ public:
+  SepoHashTable(gpusim::Device& dev, gpusim::ThreadPool& pool,
+                gpusim::RunStats& stats, HashTableConfig cfg);
+
+  SepoHashTable(const SepoHashTable&) = delete;
+  SepoHashTable& operator=(const SepoHashTable&) = delete;
+
+  [[nodiscard]] const HashTableConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint32_t num_groups() const noexcept {
+    return allocator_->num_groups();
+  }
+
+  // ------- device-side API (called from kernels) -------
+
+  // Inserts <key, value> according to the configured organization.
+  // Returns kPostpone when the required memory could not be allocated;
+  // the caller must leave the task unmarked and re-issue it next iteration.
+  Status insert(std::string_view key, std::span<const std::byte> value);
+
+  // Convenience for 8-byte values.
+  Status insert_u64(std::string_view key, std::uint64_t value) {
+    return insert(key, std::as_bytes(std::span{&value, 1}));
+  }
+
+  // Device-side lookup over the *resident* chain (current-iteration data).
+  // Returns nullptr when the key is not resident. Used by tests and by the
+  // SEPO-lookup extension; population-phase apps only insert.
+  [[nodiscard]] const KvEntry* find_resident(std::string_view key) const;
+
+  // ------- SEPO iteration protocol (host side, Figure 5) -------
+
+  // Prepares a new iteration: clears postpone flags and pending-key marks,
+  // and (multi-valued) rebuilds the device chains from resident key pages.
+  void begin_iteration();
+
+  // Basic organization halt condition: true when at least
+  // `halt_frac * num_groups` bucket groups are currently postponing.
+  [[nodiscard]] bool should_halt(double halt_frac) const noexcept;
+
+  // Ends an iteration: flushes heap pages to the host mirror heap according
+  // to the organization's policy (Figure 5) and returns them to the pool.
+  void end_iteration();
+
+  // Flushes everything still resident and returns the host-side table view.
+  // The hash table must not be used for inserts afterwards.
+  HostTable finalize();
+
+  // ------- introspection -------
+
+  // Per-bucket access totals, used by the cost model's lock-serialization
+  // term (DESIGN.md §5): on a GPU, thousands of concurrent threads hitting
+  // one hot bucket serialize on its lock (the paper's Word Count §VI-B).
+  struct BucketLoad {
+    std::uint64_t total_accesses = 0;
+    std::uint64_t max_bucket_accesses = 0;
+  };
+  [[nodiscard]] BucketLoad bucket_load() const noexcept;
+
+  [[nodiscard]] HashTableStats table_stats() const noexcept;
+  [[nodiscard]] std::uint32_t free_pages() const noexcept {
+    return pool_pages_->free_count();
+  }
+  [[nodiscard]] alloc::HostHeap& host_heap() noexcept { return *host_heap_; }
+  [[nodiscard]] alloc::BucketGroupAllocator& allocator() noexcept {
+    return *allocator_;
+  }
+  [[nodiscard]] alloc::PagePool& page_pool() noexcept { return *pool_pages_; }
+
+ private:
+  struct Bucket {
+    std::atomic<DevPtr> head_dev{gpusim::kDevNull};
+    HostPtr head_host = alloc::kHostNull;  // guarded by the bucket lock
+  };
+
+  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
+  [[nodiscard]] std::uint32_t group_of(std::uint32_t bucket) const noexcept {
+    return bucket / cfg_.buckets_per_group;
+  }
+
+  Status insert_basic(std::uint32_t b, std::string_view key,
+                      std::span<const std::byte> value);
+  Status insert_combining(std::uint32_t b, std::string_view key,
+                          std::span<const std::byte> value);
+  Status insert_multivalued(std::uint32_t b, std::string_view key,
+                            std::span<const std::byte> value);
+
+  // Walks the device chain of bucket `b` for `key`; returns entry dev ptr or
+  // null. Counts probe work. Caller holds the bucket lock.
+  [[nodiscard]] DevPtr find_in_chain(std::uint32_t b, std::string_view key) const;
+  [[nodiscard]] DevPtr find_key_entry(std::uint32_t b, std::string_view key) const;
+
+  // Flush helpers.
+  void flush_pages(const std::vector<std::uint32_t>& pages);
+  void rebuild_device_chains();
+
+  gpusim::Device& dev_;
+  gpusim::ThreadPool& pool_;
+  gpusim::RunStats& stats_;
+  HashTableConfig cfg_;
+  std::uint32_t bucket_mask_;
+
+  std::unique_ptr<alloc::PagePool> pool_pages_;
+  std::unique_ptr<alloc::HostHeap> host_heap_;
+  std::unique_ptr<alloc::BucketGroupAllocator> allocator_;
+
+  std::vector<Bucket> buckets_;
+  std::vector<gpusim::DeviceLock> bucket_locks_;
+  std::vector<std::uint32_t> bucket_access_;  // incremented under bucket lock
+
+  // Multi-valued: key pages kept resident across iterations because some of
+  // their keys still await values (paper §IV-C).
+  std::vector<std::uint32_t> resident_key_pages_;
+
+  std::uint64_t flushed_bytes_ = 0;
+  std::uint64_t flush_pages_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sepo::core

@@ -1,0 +1,190 @@
+#include "core/host_table.hpp"
+
+#include <cstring>
+
+#include "common/hashing.hpp"
+
+namespace sepo::core {
+
+std::uint32_t HostTable::bucket_of(std::string_view key) const noexcept {
+  return static_cast<std::uint32_t>(hash_key(key)) & (heads_.size() - 1);
+}
+
+void HostTable::canonicalize() {
+  if (org_ == Organization::kBasic) return;  // duplicates are the semantics
+
+  std::vector<std::pair<std::string_view, HostPtr>> seen;
+  for (HostPtr& head : heads_) {
+    seen.clear();
+    HostPtr* link = &head;  // pointer to the link we may rewrite
+    HostPtr p = head;
+    while (p != alloc::kHostNull) {
+      if (org_ == Organization::kCombining) {
+        auto* e = heap_.mutable_ptr<KvEntry>(p);
+        const std::string_view key = e->key();
+        HostPtr first = alloc::kHostNull;
+        for (const auto& [k, fp] : seen)
+          if (k == key) {
+            first = fp;
+            break;
+          }
+        if (first != alloc::kHostNull) {
+          auto* fe = heap_.mutable_ptr<KvEntry>(first);
+          if (combiner_ != nullptr)
+            combiner_(fe->value_data(), e->value_data(),
+                      std::min(fe->val_len, e->val_len));
+          *link = e->next_host;  // unlink the duplicate
+          ++merged_duplicates_;
+          p = e->next_host;
+          continue;
+        }
+        seen.emplace_back(key, p);
+        link = &e->next_host;
+        p = e->next_host;
+      } else {  // kMultiValued
+        auto* ke = heap_.mutable_ptr<KeyEntry>(p);
+        const std::string_view key = ke->key();
+        HostPtr first = alloc::kHostNull;
+        for (const auto& [k, fp] : seen)
+          if (k == key) {
+            first = fp;
+            break;
+          }
+        if (first != alloc::kHostNull) {
+          // Concatenate the duplicate's value list onto the first entry's.
+          auto* fke = heap_.mutable_ptr<KeyEntry>(first);
+          if (ke->vhead_host != alloc::kHostNull) {
+            if (fke->vhead_host == alloc::kHostNull) {
+              fke->vhead_host = ke->vhead_host;
+            } else {
+              HostPtr tail = fke->vhead_host;
+              while (true) {
+                auto* ve = heap_.mutable_ptr<ValueEntry>(tail);
+                if (ve->next_host == alloc::kHostNull) {
+                  ve->next_host = ke->vhead_host;
+                  break;
+                }
+                tail = ve->next_host;
+              }
+            }
+          }
+          *link = ke->next_host;
+          ++merged_duplicates_;
+          p = ke->next_host;
+          continue;
+        }
+        seen.emplace_back(key, p);
+        link = &ke->next_host;
+        p = ke->next_host;
+      }
+    }
+  }
+}
+
+std::optional<std::span<const std::byte>> HostTable::lookup(
+    std::string_view key) const {
+  for (HostPtr p = heads_[bucket_of(key)]; p != alloc::kHostNull;) {
+    const auto* e = heap_.ptr<KvEntry>(p);
+    if (e->key() == key) return std::span{e->value_data(), e->val_len};
+    p = e->next_host;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> HostTable::lookup_u64(std::string_view key) const {
+  const auto v = lookup(key);
+  if (!v || v->size() < 8) return std::nullopt;
+  std::uint64_t out;
+  std::memcpy(&out, v->data(), 8);
+  return out;
+}
+
+std::vector<std::span<const std::byte>> HostTable::lookup_all(
+    std::string_view key) const {
+  std::vector<std::span<const std::byte>> out;
+  for (HostPtr p = heads_[bucket_of(key)]; p != alloc::kHostNull;) {
+    const auto* e = heap_.ptr<KvEntry>(p);
+    if (e->key() == key) out.emplace_back(e->value_data(), e->val_len);
+    p = e->next_host;
+  }
+  return out;
+}
+
+void HostTable::for_each(
+    const std::function<void(std::string_view, std::span<const std::byte>)>&
+        fn) const {
+  for (const HostPtr head : heads_) {
+    for (HostPtr p = head; p != alloc::kHostNull;) {
+      const auto* e = heap_.ptr<KvEntry>(p);
+      fn(e->key(), std::span{e->value_data(), e->val_len});
+      p = e->next_host;
+    }
+  }
+}
+
+std::vector<std::span<const std::byte>> HostTable::values_of(
+    const KeyEntry& ke) const {
+  std::vector<std::span<const std::byte>> vals;
+  for (HostPtr vp = ke.vhead_host; vp != alloc::kHostNull;) {
+    const auto* ve = heap_.ptr<ValueEntry>(vp);
+    vals.emplace_back(ve->value_data(), ve->val_len);
+    vp = ve->next_host;
+  }
+  return vals;
+}
+
+void HostTable::for_each_group(
+    const std::function<void(std::string_view,
+                             const std::vector<std::span<const std::byte>>&)>&
+        fn) const {
+  for (const HostPtr head : heads_) {
+    for (HostPtr p = head; p != alloc::kHostNull;) {
+      const auto* ke = heap_.ptr<KeyEntry>(p);
+      fn(ke->key(), values_of(*ke));
+      p = ke->next_host;
+    }
+  }
+}
+
+std::optional<std::vector<std::span<const std::byte>>> HostTable::lookup_group(
+    std::string_view key) const {
+  for (HostPtr p = heads_[bucket_of(key)]; p != alloc::kHostNull;) {
+    const auto* ke = heap_.ptr<KeyEntry>(p);
+    if (ke->key() == key) return values_of(*ke);
+    p = ke->next_host;
+  }
+  return std::nullopt;
+}
+
+std::size_t HostTable::entry_count() const {
+  std::size_t n = 0;
+  if (org_ == Organization::kMultiValued) {
+    for (const HostPtr head : heads_)
+      for (HostPtr p = head; p != alloc::kHostNull;
+           p = heap_.ptr<KeyEntry>(p)->next_host)
+        ++n;
+  } else {
+    for (const HostPtr head : heads_)
+      for (HostPtr p = head; p != alloc::kHostNull;
+           p = heap_.ptr<KvEntry>(p)->next_host)
+        ++n;
+  }
+  return n;
+}
+
+std::size_t HostTable::value_count() const {
+  if (org_ != Organization::kMultiValued) return entry_count();
+  std::size_t n = 0;
+  for (const HostPtr head : heads_) {
+    for (HostPtr p = head; p != alloc::kHostNull;) {
+      const auto* ke = heap_.ptr<KeyEntry>(p);
+      for (HostPtr vp = ke->vhead_host; vp != alloc::kHostNull;
+           vp = heap_.ptr<ValueEntry>(vp)->next_host)
+        ++n;
+      p = ke->next_host;
+    }
+  }
+  return n;
+}
+
+}  // namespace sepo::core

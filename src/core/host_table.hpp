@@ -1,0 +1,108 @@
+// Host-side view of a finalized SEPO hash table.
+//
+// After the SEPO driver completes, every heap page has been flushed to the
+// host mirror heap and the bucket heads' *host* pointers form complete
+// chains (paper §III-B: the dual-pointer scheme makes the table "eventually
+// accessible from both CPU and GPU sides"). This class walks those chains.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "alloc/host_heap.hpp"
+#include "core/entry_layout.hpp"
+
+namespace sepo::core {
+
+// NOTE on duplicate key entries: a key can be represented by several
+// entries when SEPO iterations interleave with multi-emission records (a
+// record postponed on an early emission re-emits a key whose entry was
+// already flushed) or when the multi-valued resident-key cap fires. All
+// duplicates of a key land in the same bucket chain, so construction runs a
+// one-time chain-local canonicalization pass: duplicates are folded into the
+// first entry (with the combiner for the combining organization, by value-
+// list concatenation for the multi-valued one) and unlinked from the host
+// chain. Reads afterwards see unique keys.
+class HostTable {
+ public:
+  HostTable(Organization org, std::vector<HostPtr> bucket_heads,
+            alloc::HostHeap& heap, CombineFn combiner = nullptr)
+      : org_(org), heads_(std::move(bucket_heads)), heap_(heap),
+        combiner_(combiner) {
+    canonicalize();
+  }
+
+  [[nodiscard]] Organization organization() const noexcept { return org_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return heads_.size();
+  }
+
+  // --- basic / combining ---
+
+  // First entry with `key` (the only one under combining). Value bytes.
+  [[nodiscard]] std::optional<std::span<const std::byte>> lookup(
+      std::string_view key) const;
+
+  // Typed convenience for 8-byte values.
+  [[nodiscard]] std::optional<std::uint64_t> lookup_u64(
+      std::string_view key) const;
+
+  // All entries with `key` (basic organization keeps duplicates).
+  [[nodiscard]] std::vector<std::span<const std::byte>> lookup_all(
+      std::string_view key) const;
+
+  // Visits every entry: fn(key, value_bytes).
+  void for_each(
+      const std::function<void(std::string_view, std::span<const std::byte>)>&
+          fn) const;
+
+  // --- multi-valued ---
+
+  // Visits every key group: fn(key, values); `values` in insertion-reverse
+  // order (lists are built by prepending).
+  void for_each_group(
+      const std::function<void(std::string_view,
+                               const std::vector<std::span<const std::byte>>&)>&
+          fn) const;
+
+  // Values of one key, or nullopt when absent.
+  [[nodiscard]] std::optional<std::vector<std::span<const std::byte>>>
+  lookup_group(std::string_view key) const;
+
+  // --- counting ---
+
+  // Distinct keys (duplicates were merged at construction); for kBasic,
+  // total entries.
+  [[nodiscard]] std::size_t entry_count() const;
+  [[nodiscard]] std::size_t value_count() const;  // multi-valued values
+
+  // Number of duplicate entries folded away at construction (diagnostics).
+  [[nodiscard]] std::size_t merged_duplicates() const noexcept {
+    return merged_duplicates_;
+  }
+
+  // --- low-level access for phase-2 engines (e.g. core::SepoLookupEngine),
+  // which re-stage bucket chains into device memory ---
+  [[nodiscard]] HostPtr bucket_head(std::size_t b) const noexcept {
+    return heads_[b];
+  }
+  [[nodiscard]] const alloc::HostHeap& heap() const noexcept { return heap_; }
+
+ private:
+  void canonicalize();
+  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
+  [[nodiscard]] std::vector<std::span<const std::byte>> values_of(
+      const KeyEntry& ke) const;
+
+  Organization org_;
+  std::vector<HostPtr> heads_;
+  alloc::HostHeap& heap_;
+  CombineFn combiner_ = nullptr;
+  std::size_t merged_duplicates_ = 0;
+};
+
+}  // namespace sepo::core

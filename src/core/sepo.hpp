@@ -1,0 +1,41 @@
+// The SEPO (Selective Postponement) model of computation (paper §III).
+//
+// A service requestee may decline a request, asking the requestor to
+// re-issue it later, when servicing now would be inefficient. This header
+// defines the request status vocabulary and the profitability condition of
+// Figure 1 / §III-A, which the ablation benches evaluate empirically.
+#pragma once
+
+#include <cstdint>
+
+namespace sepo::core {
+
+// Result of a SEPO service request. Mirrors the paper's analogy to EAGAIN:
+// kPostpone means "re-issue this request in a later iteration".
+enum class Status : std::uint8_t {
+  kSuccess = 0,
+  kPostpone = 1,
+};
+
+// Expected per-task costs of the two scenarios in Figure 1.
+struct SepoCosts {
+  double pre_computation = 0;    // t_pre-computation
+  double postpone = 0;           // t_postpone (tracking + disposal)
+  double postponed_service = 0;  // t_postponed-service (efficient, later)
+  double inefficient_service = 0;// t_inefficient-service (now)
+  double post_computation = 0;   // t_post-computation
+};
+
+// The §III-A condition: postponing is profitable iff
+//   (t_pre + t_postpone) + (t_pre + t_postponed-service + t_post)
+//       < (t_pre + t_inefficient-service + t_post)
+[[nodiscard]] constexpr bool postponement_profitable(const SepoCosts& c) noexcept {
+  const double with_sepo = (c.pre_computation + c.postpone) +
+                           (c.pre_computation + c.postponed_service +
+                            c.post_computation);
+  const double without_sepo =
+      c.pre_computation + c.inefficient_service + c.post_computation;
+  return with_sepo < without_sepo;
+}
+
+}  // namespace sepo::core

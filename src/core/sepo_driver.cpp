@@ -1,0 +1,41 @@
+#include "core/sepo_driver.hpp"
+
+#include <stdexcept>
+
+namespace sepo::core {
+
+DriverResult SepoDriver::run(SepoHashTable& ht,
+                             bigkernel::InputPipeline& pipe,
+                             std::string_view input, const RecordIndex& index,
+                             ProgressTracker& progress,
+                             const bigkernel::TaskFn& task) {
+  DriverResult result;
+  const bool use_halt = ht.config().org == Organization::kBasic;
+  std::function<bool()> halted;
+  if (use_halt)
+    halted = [&ht, frac = cfg_.basic_halt_frac] { return ht.should_halt(frac); };
+
+  while (!progress.all_done()) {
+    if (result.iterations >= cfg_.max_iterations)
+      throw std::runtime_error("SEPO driver exceeded max_iterations");
+    ++result.iterations;
+
+    const std::size_t done_before = progress.done_count();
+    ht.begin_iteration();
+    const bigkernel::PassResult pass =
+        pipe.run_pass(input, index, progress, task, halted);
+    ht.end_iteration();
+
+    result.chunks_staged += pass.chunks_staged;
+    result.chunks_skipped += pass.chunks_skipped;
+    result.bytes_staged += pass.bytes_staged;
+
+    if (progress.done_count() == done_before)
+      throw std::runtime_error(
+          "SEPO iteration made no progress: an entry may exceed the heap "
+          "size, or the heap has zero pages");
+  }
+  return result;
+}
+
+}  // namespace sepo::core

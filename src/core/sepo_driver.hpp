@@ -1,0 +1,59 @@
+// The SEPO iteration driver (paper §III-B, §IV-C, Figure 5).
+//
+// "The application iterates over the entire set of input records multiple
+// times in sequence until all input records have been successfully
+// processed." The driver owns that loop: it runs passes over the pending
+// records through the BigKernel pipeline, applies the organization-specific
+// halt condition, and triggers the organization-specific heap flush between
+// iterations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "bigkernel/pipeline.hpp"
+#include "common/progress.hpp"
+#include "common/strings.hpp"
+#include "core/hash_table.hpp"
+
+namespace sepo::core {
+
+struct DriverConfig {
+  // Basic organization: halt the pass when this fraction of bucket groups is
+  // postponing ("We observed acceptable performance with setting the
+  // threshold to 50%", §IV-C footnote 5).
+  double basic_halt_frac = 0.5;
+  // Safety valve against configurations that cannot make progress.
+  std::uint32_t max_iterations = 10000;
+};
+
+struct DriverResult {
+  std::uint32_t iterations = 0;
+  std::uint64_t chunks_staged = 0;
+  std::uint64_t chunks_skipped = 0;
+  std::uint64_t bytes_staged = 0;
+};
+
+class SepoDriver {
+ public:
+  explicit SepoDriver(DriverConfig cfg = {}) : cfg_(cfg) {}
+
+  // Runs `task` over every record of `input` until all records have been
+  // processed, iterating per the table's organization. On return the table
+  // still holds its data (flushed to the host heap); call ht.finalize() to
+  // obtain the HostTable.
+  //
+  // Throws std::runtime_error if an iteration completes with zero progress
+  // (e.g. a single entry larger than the whole heap).
+  DriverResult run(SepoHashTable& ht, bigkernel::InputPipeline& pipe,
+                   std::string_view input, const RecordIndex& index,
+                   ProgressTracker& progress, const bigkernel::TaskFn& task);
+
+  [[nodiscard]] const DriverConfig& config() const noexcept { return cfg_; }
+
+ private:
+  DriverConfig cfg_;
+};
+
+}  // namespace sepo::core

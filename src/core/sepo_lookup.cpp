@@ -1,0 +1,269 @@
+#include "core/sepo_lookup.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bitmap.hpp"
+#include "common/hashing.hpp"
+#include "gpusim/launch.hpp"
+
+namespace sepo::core {
+
+namespace {
+
+struct SerializedEntry {
+  std::uint32_t key_len;
+  std::uint32_t val_len;
+
+  [[nodiscard]] static std::uint64_t byte_size(std::uint32_t key_len,
+                                               std::uint32_t val_len) noexcept {
+    return sizeof(SerializedEntry) + pad8(key_len) + pad8(val_len);
+  }
+  [[nodiscard]] std::uint64_t byte_size() const noexcept {
+    return byte_size(key_len, val_len);
+  }
+  [[nodiscard]] std::string_view key() const noexcept {
+    return {reinterpret_cast<const char*>(this + 1), key_len};
+  }
+  [[nodiscard]] const std::byte* value_data() const noexcept {
+    return reinterpret_cast<const std::byte*>(this + 1) + pad8(key_len);
+  }
+};
+static_assert(sizeof(SerializedEntry) == 8);
+
+void write_entry(std::byte*& dst, std::string_view key,
+                 const std::byte* val, std::uint32_t val_len) {
+  SerializedEntry hdr{static_cast<std::uint32_t>(key.size()), val_len};
+  std::memcpy(dst, &hdr, sizeof hdr);
+  std::memcpy(dst + sizeof hdr, key.data(), key.size());
+  if (val_len)
+    std::memcpy(dst + sizeof hdr + pad8(hdr.key_len), val, val_len);
+  dst += hdr.byte_size();
+}
+
+}  // namespace
+
+SepoLookupEngine::SepoLookupEngine(gpusim::Device& dev,
+                                   gpusim::ThreadPool& pool,
+                                   gpusim::RunStats& stats,
+                                   const HostTable& table, LookupConfig cfg)
+    : dev_(dev), pool_(pool), stats_(stats), table_(table), cfg_(cfg) {
+  const std::size_t buckets = table_.bucket_count();
+  bucket_sizes_.resize(buckets);
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    bucket_sizes_[b] = bucket_bytes(b);
+    total_bytes_ += bucket_sizes_[b];
+  }
+
+  arena_size_ = static_cast<std::size_t>(
+      static_cast<double>(dev_.mem_free()) * cfg_.arena_frac);
+  if (arena_size_ < 4096) throw std::runtime_error("device too small");
+  arena_ = dev_.alloc_static(arena_size_, 64);
+
+  // Greedy contiguous partition of buckets into arena-sized segments.
+  segment_of_bucket_.resize(buckets);
+  Segment cur;
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    if (bucket_sizes_[b] > arena_size_)
+      throw std::runtime_error(
+          "a single bucket chain exceeds the lookup staging arena; use more "
+          "buckets or a larger device");
+    if (cur.bytes + bucket_sizes_[b] > arena_size_) {
+      cur.bucket_hi = b;
+      segments_.push_back(cur);
+      cur = {b, b, 0};
+    }
+    cur.bytes += bucket_sizes_[b];
+    segment_of_bucket_[b] = static_cast<std::uint32_t>(segments_.size());
+  }
+  cur.bucket_hi = static_cast<std::uint32_t>(buckets);
+  segments_.push_back(cur);
+}
+
+std::uint64_t SepoLookupEngine::bucket_bytes(std::uint32_t bucket) const {
+  std::uint64_t n = 0;
+  const auto& heap = table_.heap();
+  if (table_.organization() == Organization::kMultiValued) {
+    for (HostPtr p = table_.bucket_head(bucket); p != alloc::kHostNull;) {
+      const auto* ke = heap.ptr<KeyEntry>(p);
+      for (HostPtr vp = ke->vhead_host; vp != alloc::kHostNull;) {
+        const auto* ve = heap.ptr<ValueEntry>(vp);
+        n += SerializedEntry::byte_size(ke->key_len, ve->val_len);
+        vp = ve->next_host;
+      }
+      // Keys without values still need a presence record.
+      if (ke->vhead_host == alloc::kHostNull)
+        n += SerializedEntry::byte_size(ke->key_len, 0);
+      p = ke->next_host;
+    }
+  } else {
+    for (HostPtr p = table_.bucket_head(bucket); p != alloc::kHostNull;) {
+      const auto* e = heap.ptr<KvEntry>(p);
+      n += SerializedEntry::byte_size(e->key_len, e->val_len);
+      p = e->next_host;
+    }
+  }
+  return n;
+}
+
+std::uint64_t SepoLookupEngine::serialize_bucket(std::uint32_t bucket,
+                                                 std::byte* dst) const {
+  std::byte* cur = dst;
+  const auto& heap = table_.heap();
+  if (table_.organization() == Organization::kMultiValued) {
+    for (HostPtr p = table_.bucket_head(bucket); p != alloc::kHostNull;) {
+      const auto* ke = heap.ptr<KeyEntry>(p);
+      if (ke->vhead_host == alloc::kHostNull) {
+        write_entry(cur, ke->key(), nullptr, 0);
+      } else {
+        for (HostPtr vp = ke->vhead_host; vp != alloc::kHostNull;) {
+          const auto* ve = heap.ptr<ValueEntry>(vp);
+          write_entry(cur, ke->key(), ve->value_data(), ve->val_len);
+          vp = ve->next_host;
+        }
+      }
+      p = ke->next_host;
+    }
+  } else {
+    for (HostPtr p = table_.bucket_head(bucket); p != alloc::kHostNull;) {
+      const auto* e = heap.ptr<KvEntry>(p);
+      write_entry(cur, e->key(), e->value_data(), e->val_len);
+      p = e->next_host;
+    }
+  }
+  return static_cast<std::uint64_t>(cur - dst);
+}
+
+template <typename OnBucket>
+LookupBatchResult SepoLookupEngine::run_batch(
+    const std::vector<std::string>& queries, const OnBucket& on_bucket) {
+  LookupBatchResult result;
+  result.segments = segment_count();
+
+  const std::uint32_t mask =
+      static_cast<std::uint32_t>(table_.bucket_count() - 1);
+  std::vector<std::uint32_t> query_bucket(queries.size());
+  std::vector<std::atomic<std::int64_t>> pending(segments_.size());
+  for (auto& p : pending) p.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    query_bucket[i] = static_cast<std::uint32_t>(hash_key(queries[i])) & mask;
+    pending[segment_of_bucket_[query_bucket[i]]].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  AtomicBitmap done(queries.size());
+  std::vector<std::uint64_t> bucket_off(table_.bucket_count());
+  std::atomic<std::uint64_t> found{0}, missing{0};
+
+  for (std::uint32_t s = 0; s < segments_.size(); ++s) {
+    if (done.all()) break;
+    const Segment& seg = segments_[s];
+    if (pending[s].load(std::memory_order_relaxed) == 0) {
+      ++result.segments_skipped;  // no staging, no kernel (SEPO skip)
+      continue;
+    }
+    ++result.iterations;
+
+    // Stage the segment: serialize bucket chains into the device arena. On
+    // real hardware this is one bulky host-to-device DMA.
+    std::uint64_t cursor = 0;
+    for (std::uint32_t b = seg.bucket_lo; b < seg.bucket_hi; ++b) {
+      bucket_off[b] = cursor;
+      cursor += serialize_bucket(b, dev_.ptr(arena_ + cursor));
+    }
+    dev_.bus().h2d(cursor);
+    result.staged_bytes += cursor;
+
+    // Lookup kernel over pending queries.
+    std::atomic<std::uint64_t> answer_bytes{0};
+    gpusim::launch(
+        pool_, stats_, queries.size(),
+        [&](std::size_t i) {
+          stats_.add_records_scanned();
+          if (done.test(i)) return;
+          const std::uint32_t b = query_bucket[i];
+          if (b < seg.bucket_lo || b >= seg.bucket_hi) {
+            stats_.add_records_postponed();  // non-resident portion
+            return;
+          }
+          stats_.add_hash_ops();
+          const std::byte* data = dev_.ptr(arena_ + bucket_off[b]);
+          const std::uint64_t len = bucket_sizes_[b];
+          const std::uint64_t got = on_bucket(i, data, len);
+          answer_bytes.fetch_add(got, std::memory_order_relaxed);
+          if (got > 0)
+            found.fetch_add(1, std::memory_order_relaxed);
+          else
+            missing.fetch_add(1, std::memory_order_relaxed);
+          done.set(i);
+          pending[s].fetch_sub(1, std::memory_order_relaxed);
+          stats_.add_records_processed();
+        },
+        {.grid_threads = cfg_.grid_threads});
+
+    // Answers travel back in one bulk transfer per segment.
+    const std::uint64_t ab = answer_bytes.load(std::memory_order_relaxed);
+    if (ab > 0) dev_.bus().d2h(ab);
+  }
+
+  result.found = found.load(std::memory_order_relaxed);
+  result.missing = missing.load(std::memory_order_relaxed);
+  return result;
+}
+
+LookupBatchResult SepoLookupEngine::lookup_values(
+    const std::vector<std::string>& queries,
+    std::vector<std::optional<std::vector<std::byte>>>& out) {
+  if (table_.organization() == Organization::kMultiValued)
+    throw std::logic_error("use lookup_groups for multi-valued tables");
+  out.assign(queries.size(), std::nullopt);
+  return run_batch(queries, [&](std::size_t i, const std::byte* data,
+                                std::uint64_t len) -> std::uint64_t {
+    const std::string_view key = queries[i];
+    std::uint64_t off = 0;
+    while (off < len) {
+      const auto* e = reinterpret_cast<const SerializedEntry*>(data + off);
+      stats_.add_chain_links();
+      stats_.add_key_compare_bytes(std::min<std::uint64_t>(e->key_len, key.size()));
+      if (e->key() == key) {
+        out[i].emplace(e->value_data(), e->value_data() + e->val_len);
+        return e->val_len;
+      }
+      off += e->byte_size();
+    }
+    return 0;
+  });
+}
+
+LookupBatchResult SepoLookupEngine::lookup_groups(
+    const std::vector<std::string>& queries,
+    std::vector<std::optional<std::vector<std::vector<std::byte>>>>& out) {
+  if (table_.organization() != Organization::kMultiValued)
+    throw std::logic_error("lookup_groups requires a multi-valued table");
+  out.assign(queries.size(), std::nullopt);
+  return run_batch(queries, [&](std::size_t i, const std::byte* data,
+                                std::uint64_t len) -> std::uint64_t {
+    const std::string_view key = queries[i];
+    std::uint64_t off = 0, bytes = 0;
+    std::vector<std::vector<std::byte>> vals;
+    bool present = false;
+    while (off < len) {
+      const auto* e = reinterpret_cast<const SerializedEntry*>(data + off);
+      stats_.add_chain_links();
+      stats_.add_key_compare_bytes(std::min<std::uint64_t>(e->key_len, key.size()));
+      if (e->key() == key) {
+        present = true;
+        if (e->val_len > 0) {
+          vals.emplace_back(e->value_data(), e->value_data() + e->val_len);
+          bytes += e->val_len;
+        }
+      }
+      off += e->byte_size();
+    }
+    if (present) out[i] = std::move(vals);
+    return present ? std::max<std::uint64_t>(bytes, 1) : 0;
+  });
+}
+
+}  // namespace sepo::core

@@ -1,0 +1,243 @@
+#include "core/table_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/hashing.hpp"
+#include "core/entry_layout.hpp"
+
+namespace sepo::core {
+
+HostTableBuilder::HostTableBuilder(Organization org, std::uint32_t num_buckets,
+                                   std::size_t page_size, CombineFn combiner)
+    : org_(org), combiner_(combiner), page_size_(page_size),
+      heads_(num_buckets, alloc::kHostNull), heap_(page_size) {
+  if (num_buckets == 0 || (num_buckets & (num_buckets - 1)))
+    throw std::invalid_argument("num_buckets must be a power of two");
+  if (org == Organization::kCombining && combiner == nullptr)
+    throw std::invalid_argument("combining builder requires a combiner");
+  page_buf_.resize(page_size_);
+}
+
+std::uint32_t HostTableBuilder::bucket_of(std::string_view key) const noexcept {
+  return static_cast<std::uint32_t>(hash_key(key)) &
+         static_cast<std::uint32_t>(heads_.size() - 1);
+}
+
+void HostTableBuilder::flush_page() {
+  if (cur_slot_ != 0 && cur_used_ > 0)
+    heap_.store_page(cur_slot_, page_buf_.data(), cur_used_);
+}
+
+HostPtr HostTableBuilder::alloc(std::uint32_t bytes) {
+  bytes = (bytes + 7u) & ~7u;
+  if (bytes > page_size_)
+    throw std::invalid_argument("entry exceeds builder page size");
+  if (cur_slot_ == 0 || cur_used_ + bytes > page_size_) {
+    flush_page();
+    cur_slot_ = heap_.reserve_slot();
+    cur_used_ = 0;
+  }
+  const HostPtr p = heap_.addr(cur_slot_, cur_used_);
+  cur_used_ += bytes;
+  return p;
+}
+
+std::byte* HostTableBuilder::at(HostPtr p) {
+  const std::uint64_t slot = p / page_size_;
+  const std::uint64_t off = p % page_size_;
+  if (slot == cur_slot_) return page_buf_.data() + off;
+  return heap_.mutable_ptr(p);
+}
+
+HostPtr HostTableBuilder::find(std::uint32_t b, std::string_view key) {
+  for (HostPtr p = heads_[b]; p != alloc::kHostNull;) {
+    if (org_ == Organization::kMultiValued) {
+      auto* ke = reinterpret_cast<KeyEntry*>(at(p));
+      if (ke->key() == key) return p;
+      p = ke->next_host;
+    } else {
+      auto* e = reinterpret_cast<KvEntry*>(at(p));
+      if (e->key() == key) return p;
+      p = e->next_host;
+    }
+  }
+  return alloc::kHostNull;
+}
+
+void HostTableBuilder::add(std::string_view key,
+                           std::span<const std::byte> value) {
+  if (built_) throw std::logic_error("builder already built");
+  const auto key_len = static_cast<std::uint32_t>(key.size());
+  const auto val_len = static_cast<std::uint32_t>(value.size());
+  const std::uint32_t b = bucket_of(key);
+
+  if (org_ == Organization::kMultiValued) {
+    HostPtr kp = find(b, key);
+    if (kp == alloc::kHostNull) {
+      kp = alloc(KeyEntry::byte_size(key_len));
+      auto* ke = reinterpret_cast<KeyEntry*>(at(kp));
+      ke->next_dev = gpusim::kDevNull;
+      ke->next_host = heads_[b];
+      ke->vhead_dev = gpusim::kDevNull;
+      ke->vhead_host = alloc::kHostNull;
+      ke->key_len = key_len;
+      ke->page = 0;
+      std::memcpy(ke->key_data(), key.data(), key_len);
+      heads_[b] = kp;
+      ++entries_;
+    }
+    const HostPtr vp = alloc(ValueEntry::byte_size(val_len));
+    auto* ke = reinterpret_cast<KeyEntry*>(at(kp));  // re-resolve after alloc
+    auto* ve = reinterpret_cast<ValueEntry*>(at(vp));
+    ve->next_dev = gpusim::kDevNull;
+    ve->next_host = ke->vhead_host;
+    ve->val_len = val_len;
+    ve->pad_ = 0;
+    if (val_len) std::memcpy(ve->value_data(), value.data(), val_len);
+    ke->vhead_host = vp;
+    return;
+  }
+
+  if (org_ == Organization::kCombining) {
+    const HostPtr existing = find(b, key);
+    if (existing != alloc::kHostNull) {
+      auto* e = reinterpret_cast<KvEntry*>(at(existing));
+      combiner_(e->value_data(), value.data(), std::min(e->val_len, val_len));
+      return;
+    }
+  }
+  const HostPtr p = alloc(KvEntry::byte_size(key_len, val_len));
+  auto* e = reinterpret_cast<KvEntry*>(at(p));
+  e->next_dev = gpusim::kDevNull;
+  e->next_host = heads_[b];
+  e->key_len = key_len;
+  e->val_len = val_len;
+  std::memcpy(e->key_data(), key.data(), key_len);
+  if (val_len) std::memcpy(e->value_data(), value.data(), val_len);
+  heads_[b] = p;
+  ++entries_;
+}
+
+HostTable HostTableBuilder::build() {
+  if (built_) throw std::logic_error("builder already built");
+  built_ = true;
+  flush_page();
+  cur_slot_ = 0;
+  return HostTable(org_, heads_, heap_, combiner_);
+}
+
+// ---- snapshots ----
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'E', 'P', 'O', 'T', 'B', 'L', '1'};
+constexpr std::uint8_t kTagKv = 1;
+constexpr std::uint8_t kTagGroup = 2;
+constexpr std::uint8_t kTagEnd = 0;
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  if (!is.read(reinterpret_cast<char*>(&v), sizeof v))
+    throw std::runtime_error("truncated snapshot");
+  return v;
+}
+
+void put_bytes(std::ostream& os, const void* data, std::uint32_t len) {
+  put(os, len);
+  os.write(reinterpret_cast<const char*>(data), len);
+}
+
+std::vector<std::byte> get_bytes(std::istream& is) {
+  const auto len = get<std::uint32_t>(is);
+  if (len > (64u << 20)) throw std::runtime_error("implausible record size");
+  std::vector<std::byte> buf(len);
+  if (len && !is.read(reinterpret_cast<char*>(buf.data()), len))
+    throw std::runtime_error("truncated snapshot");
+  return buf;
+}
+
+}  // namespace
+
+void save_snapshot(const HostTable& table, std::ostream& os) {
+  os.write(kMagic, sizeof kMagic);
+  put(os, static_cast<std::uint8_t>(table.organization()));
+  put(os, static_cast<std::uint32_t>(table.bucket_count()));
+
+  if (table.organization() == Organization::kMultiValued) {
+    table.for_each_group(
+        [&](std::string_view k,
+            const std::vector<std::span<const std::byte>>& vals) {
+          put(os, kTagGroup);
+          put_bytes(os, k.data(), static_cast<std::uint32_t>(k.size()));
+          put(os, static_cast<std::uint32_t>(vals.size()));
+          for (const auto& v : vals)
+            put_bytes(os, v.data(), static_cast<std::uint32_t>(v.size()));
+        });
+  } else {
+    table.for_each([&](std::string_view k, std::span<const std::byte> v) {
+      put(os, kTagKv);
+      put_bytes(os, k.data(), static_cast<std::uint32_t>(k.size()));
+      put_bytes(os, v.data(), static_cast<std::uint32_t>(v.size()));
+    });
+  }
+  put(os, kTagEnd);
+}
+
+LoadedTable load_snapshot(std::istream& is) {
+  char magic[8];
+  if (!is.read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof magic) != 0)
+    throw std::runtime_error("not a SEPO table snapshot");
+  const auto org = static_cast<Organization>(get<std::uint8_t>(is));
+  if (org != Organization::kBasic && org != Organization::kMultiValued &&
+      org != Organization::kCombining)
+    throw std::runtime_error("unknown organization in snapshot");
+  const auto num_buckets = get<std::uint32_t>(is);
+  if (num_buckets == 0 || (num_buckets & (num_buckets - 1)))
+    throw std::runtime_error("corrupt bucket count in snapshot");
+
+  // A snapshot's keys are already unique (canonicalized on save), so the
+  // combining builder never needs to merge; a no-op combiner satisfies the
+  // builder's contract.
+  const CombineFn noop = [](std::byte*, const std::byte*, std::uint32_t) {};
+  LoadedTable loaded;
+  loaded.storage = std::make_unique<HostTableBuilder>(
+      org, num_buckets, 8u << 10,
+      org == Organization::kCombining ? noop : nullptr);
+
+  while (true) {
+    const auto tag = get<std::uint8_t>(is);
+    if (tag == kTagEnd) break;
+    if (tag == kTagKv) {
+      const auto key = get_bytes(is);
+      const auto val = get_bytes(is);
+      loaded.storage->add(
+          {reinterpret_cast<const char*>(key.data()), key.size()},
+          std::span{val.data(), val.size()});
+    } else if (tag == kTagGroup) {
+      const auto key = get_bytes(is);
+      const auto count = get<std::uint32_t>(is);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const auto val = get_bytes(is);
+        loaded.storage->add(
+            {reinterpret_cast<const char*>(key.data()), key.size()},
+            std::span{val.data(), val.size()});
+      }
+    } else {
+      throw std::runtime_error("unknown record tag in snapshot");
+    }
+  }
+  loaded.table = std::make_unique<HostTable>(loaded.storage->build());
+  return loaded;
+}
+
+}  // namespace sepo::core

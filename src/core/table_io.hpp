@@ -1,0 +1,88 @@
+// Host-side table construction and snapshot persistence.
+//
+// HostTableBuilder assembles a HostTable entirely in CPU memory, using the
+// same entry layouts and mirror-heap addressing as tables produced by the
+// device path — a finished SEPO run and a builder-made table are
+// indistinguishable to readers (HostTable, SepoLookupEngine).
+//
+// save_snapshot / load_snapshot persist a HostTable to a byte stream, so a
+// phase-1 population run can be stored and analyzed later (e.g. re-loaded
+// and queried through core::SepoLookupEngine) without re-processing the
+// input.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "alloc/host_heap.hpp"
+#include "core/host_table.hpp"
+
+namespace sepo::core {
+
+class HostTableBuilder {
+ public:
+  HostTableBuilder(Organization org, std::uint32_t num_buckets,
+                   std::size_t page_size = 8u << 10,
+                   CombineFn combiner = nullptr);
+
+  HostTableBuilder(const HostTableBuilder&) = delete;
+  HostTableBuilder& operator=(const HostTableBuilder&) = delete;
+
+  // Basic: appends an entry. Combining: merges into an existing entry when
+  // the key is present, else appends. Multi-valued: appends `value` to the
+  // key's group (creating the key on first sight).
+  void add(std::string_view key, std::span<const std::byte> value);
+
+  void add_u64(std::string_view key, std::uint64_t v) {
+    add(key, std::as_bytes(std::span{&v, 1}));
+  }
+
+  // Finalizes chains and returns the table view. The builder owns the
+  // backing storage and must outlive the returned HostTable. May be called
+  // once.
+  HostTable build();
+
+  [[nodiscard]] std::size_t entry_count() const noexcept { return entries_; }
+
+ private:
+  // Bump-allocates `bytes` in the mirror heap; returns the host address.
+  HostPtr alloc(std::uint32_t bytes);
+  void flush_page();
+  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
+  // Walks the (host-buffered) chain of bucket b for `key`.
+  [[nodiscard]] HostPtr find(std::uint32_t b, std::string_view key);
+  [[nodiscard]] std::byte* at(HostPtr p);
+
+  Organization org_;
+  CombineFn combiner_;
+  std::size_t page_size_;
+  std::vector<HostPtr> heads_;
+  alloc::HostHeap heap_;
+
+  // Current page under construction (stored into heap_ when full).
+  std::vector<std::byte> page_buf_;
+  std::uint64_t cur_slot_ = 0;
+  std::uint32_t cur_used_ = 0;
+
+  std::size_t entries_ = 0;
+  bool built_ = false;
+};
+
+// Snapshot format (little-endian, versioned):
+//   "SEPOTBL1" | u8 org | u32 num_buckets | u64 entry stream ...
+void save_snapshot(const HostTable& table, std::ostream& os);
+
+// A loaded snapshot: the storage plus the table view into it.
+struct LoadedTable {
+  std::unique_ptr<HostTableBuilder> storage;
+  std::unique_ptr<HostTable> table;
+};
+
+// Throws std::runtime_error on malformed input.
+[[nodiscard]] LoadedTable load_snapshot(std::istream& is);
+
+}  // namespace sepo::core

@@ -1,0 +1,95 @@
+// Virtual GPU device: a device-memory arena with a hard capacity.
+//
+// Device pointers are 64-bit byte offsets into the arena (DevPtr), with 0
+// reserved as the null pointer. Static structures (bucket arrays, locks,
+// staging buffers) are carved from the front of the arena; the heap for the
+// dynamic memory allocator takes whatever remains, matching the paper's
+// §IV-A: "we wait until all other data structures have been allocated, then
+// query GPU memory for its remaining free space, and then allocate the heap
+// with that size".
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "gpusim/pcie.hpp"
+
+namespace sepo::gpusim {
+
+using DevPtr = std::uint64_t;
+inline constexpr DevPtr kDevNull = 0;
+
+class Device {
+ public:
+  explicit Device(std::size_t capacity_bytes, PcieParams pcie = {})
+      : capacity_(capacity_bytes),
+        mem_(std::make_unique<std::byte[]>(capacity_bytes)),
+        bus_(pcie) {
+    // Burn the first 64 bytes so that offset 0 can serve as null.
+    static_used_ = 64;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  // Allocates a static region (never freed until device reset). Throws
+  // std::bad_alloc when the device is out of memory — static allocations are
+  // sized by the host before kernels run, so an exception is the right
+  // failure mode (unlike heap allocations, which POSTPONE).
+  DevPtr alloc_static(std::size_t bytes, std::size_t align = 8) {
+    const std::size_t base = (static_used_ + align - 1) & ~(align - 1);
+    if (base + bytes > capacity_) throw std::bad_alloc();
+    static_used_ = base + bytes;
+    return static_cast<DevPtr>(base);
+  }
+
+  // Remaining free device memory (what the heap may claim), accounting for
+  // the alignment the subsequent alloc_static will apply.
+  [[nodiscard]] std::size_t mem_free(std::size_t align = 64) const noexcept {
+    const std::size_t base = (static_used_ + align - 1) & ~(align - 1);
+    return base >= capacity_ ? 0 : capacity_ - base;
+  }
+
+  [[nodiscard]] std::size_t static_used() const noexcept { return static_used_; }
+
+  // Translates a device pointer to a host-visible raw pointer. In a real GPU
+  // this is the device address space; in the simulator both sides can form
+  // the pointer but only kernel code and explicit copies should use it.
+  template <typename T = std::byte>
+  [[nodiscard]] T* ptr(DevPtr p) noexcept {
+    assert(p != kDevNull && p + sizeof(T) <= capacity_);
+    return reinterpret_cast<T*>(mem_.get() + p);
+  }
+
+  template <typename T = std::byte>
+  [[nodiscard]] const T* ptr(DevPtr p) const noexcept {
+    assert(p != kDevNull && p + sizeof(T) <= capacity_);
+    return reinterpret_cast<const T*>(mem_.get() + p);
+  }
+
+  // Explicit metered copies across the bus.
+  void copy_h2d(DevPtr dst, const void* src, std::size_t bytes) noexcept {
+    std::memcpy(ptr(dst), src, bytes);
+    bus_.h2d(bytes);
+  }
+
+  void copy_d2h(void* dst, DevPtr src, std::size_t bytes) noexcept {
+    std::memcpy(dst, ptr(src), bytes);
+    bus_.d2h(bytes);
+  }
+
+  [[nodiscard]] PcieBus& bus() noexcept { return bus_; }
+  [[nodiscard]] const PcieBus& bus() const noexcept { return bus_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t static_used_ = 0;
+  std::unique_ptr<std::byte[]> mem_;
+  PcieBus bus_;
+};
+
+}  // namespace sepo::gpusim

@@ -1,0 +1,21 @@
+#include "gpusim/launch.hpp"
+
+namespace sepo::gpusim {
+
+void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
+            const std::function<void(std::size_t)>& kernel, LaunchConfig cfg) {
+  stats.add_kernel_launches();
+  if (n_items == 0) return;
+  const std::size_t grid =
+      cfg.grid_threads == 0 ? n_items : cfg.grid_threads;
+  if (grid >= n_items) {
+    pool.parallel_for(n_items, kernel);
+    return;
+  }
+  // Grid-stride loop: virtual thread t handles items t, t+grid, t+2*grid, ...
+  pool.parallel_for(grid, [&](std::size_t t) {
+    for (std::size_t i = t; i < n_items; i += grid) kernel(i);
+  });
+}
+
+}  // namespace sepo::gpusim

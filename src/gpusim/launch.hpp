@@ -1,0 +1,72 @@
+// SIMT-style kernel launch on the virtual device.
+//
+// A "kernel" is a callable executed once per virtual thread id over a grid.
+// Virtual threads are multiplexed onto the host ThreadPool. Kernel code may
+// use std::atomic operations on device memory (standing in for CUDA atomics)
+// and the sepo::alloc allocator. Divergence and contention are *counted*
+// (RunStats) rather than slowing the host down; the CostModel prices them.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "gpusim/counters.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace sepo::gpusim {
+
+inline constexpr std::size_t kWarpSize = 32;
+
+struct LaunchConfig {
+  // Number of virtual threads in the grid. Defaults to one thread per work
+  // item when 0.
+  std::size_t grid_threads = 0;
+};
+
+// Launches `kernel(item)` for every item in [0, n_items). Items are
+// distributed over grid threads in a grid-stride loop, like the canonical
+// CUDA pattern; grid threads are in turn multiplexed onto the pool.
+void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
+            const std::function<void(std::size_t)>& kernel,
+            LaunchConfig cfg = {});
+
+// A spinlock in device memory (stands in for a CUDA atomicCAS lock). The
+// acquire is counted so the cost model can price contention: the paper
+// attributes Word Count's poor GPU showing to exactly this ("suffers from
+// lock contention when accessing buckets", §VI-B).
+class DeviceLock {
+ public:
+  void lock(RunStats& stats) noexcept {
+    stats.add_lock_acquires();
+    if (flag_.exchange(1, std::memory_order_acquire) == 0) return;
+    stats.add_lock_contended();
+    std::uint64_t spins = 0;
+    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
+      ++spins;
+    }
+    stats.add_atomic_retries(spins);
+  }
+
+  void unlock() noexcept { flag_.store(0, std::memory_order_release); }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+// RAII guard for DeviceLock.
+class DeviceLockGuard {
+ public:
+  DeviceLockGuard(DeviceLock& l, RunStats& stats) : l_(l) { l_.lock(stats); }
+  ~DeviceLockGuard() { l_.unlock(); }
+  DeviceLockGuard(const DeviceLockGuard&) = delete;
+  DeviceLockGuard& operator=(const DeviceLockGuard&) = delete;
+
+ private:
+  DeviceLock& l_;
+};
+
+}  // namespace sepo::gpusim

@@ -1,0 +1,120 @@
+// PCIe bus model.
+//
+// The paper's headline comparisons (SEPO vs pinned-in-CPU-memory vs demand
+// paging, §VI-D) are decided by how many bytes cross the bus in how many
+// transactions: "the data is transferred over many small PCIe transactions,
+// which is much costlier than a few bulky PCIe transactions". We therefore
+// meter every transfer as (transaction count, byte count) and convert to time
+// with a latency + bandwidth model, exactly the arithmetic the paper uses to
+// compute Table III's lower bounds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sepo::gpusim {
+
+struct PcieParams {
+  // Effective host<->device bandwidth for bulk copies. PCIe Gen3 x16 is
+  // 15.75 GB/s raw; ~12 GB/s is a typical achieved figure.
+  double bandwidth_bytes_per_s = 12.0e9;
+  // Per-transaction setup latency (driver + DMA descriptor + link).
+  double latency_s = 1.3e-6;
+  // Small remote accesses (a GPU thread dereferencing pinned CPU memory)
+  // pay a round-trip and achieve very poor effective bandwidth.
+  double remote_roundtrip_s = 0.9e-6;
+  double remote_bandwidth_bytes_per_s = 0.8e9;
+};
+
+struct PcieSnapshot {
+  std::uint64_t h2d_bytes = 0, h2d_txns = 0;
+  std::uint64_t d2h_bytes = 0, d2h_txns = 0;
+  std::uint64_t remote_bytes = 0, remote_txns = 0;
+
+  PcieSnapshot& operator+=(const PcieSnapshot& o) {
+    h2d_bytes += o.h2d_bytes;
+    h2d_txns += o.h2d_txns;
+    d2h_bytes += o.d2h_bytes;
+    d2h_txns += o.d2h_txns;
+    remote_bytes += o.remote_bytes;
+    remote_txns += o.remote_txns;
+    return *this;
+  }
+};
+
+class PcieBus {
+ public:
+  explicit PcieBus(PcieParams params = {}) : params_(params) {}
+
+  // Bulk host-to-device copy (input staging).
+  void h2d(std::uint64_t bytes) noexcept {
+    h2d_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    h2d_txns_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Bulk device-to-host copy (heap flushes).
+  void d2h(std::uint64_t bytes) noexcept {
+    d2h_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    d2h_txns_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Small remote access from a device thread to pinned host memory.
+  void remote(std::uint64_t bytes) noexcept {
+    remote_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    remote_txns_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] PcieSnapshot snapshot() const noexcept {
+    PcieSnapshot s;
+    s.h2d_bytes = h2d_bytes_.load(std::memory_order_relaxed);
+    s.h2d_txns = h2d_txns_.load(std::memory_order_relaxed);
+    s.d2h_bytes = d2h_bytes_.load(std::memory_order_relaxed);
+    s.d2h_txns = d2h_txns_.load(std::memory_order_relaxed);
+    s.remote_bytes = remote_bytes_.load(std::memory_order_relaxed);
+    s.remote_txns = remote_txns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void reset() noexcept {
+    h2d_bytes_ = h2d_txns_ = d2h_bytes_ = d2h_txns_ = remote_bytes_ =
+        remote_txns_ = 0;
+  }
+
+  [[nodiscard]] const PcieParams& params() const noexcept { return params_; }
+
+  // Time for bulk transfers: per-transaction latency plus streaming time.
+  [[nodiscard]] double bulk_time(std::uint64_t bytes,
+                                 std::uint64_t txns) const noexcept {
+    return static_cast<double>(txns) * params_.latency_s +
+           static_cast<double>(bytes) / params_.bandwidth_bytes_per_s;
+  }
+
+  // Time for remote word-granularity accesses. Round-trips overlap across
+  // the thousands of concurrent device threads, so we charge the round-trip
+  // amortized by a pipelining factor rather than serially.
+  [[nodiscard]] double remote_time(std::uint64_t bytes,
+                                   std::uint64_t txns) const noexcept {
+    constexpr double kOverlapFactor = 64.0;  // in-flight remote requests
+    return static_cast<double>(txns) * params_.remote_roundtrip_s /
+               kOverlapFactor +
+           static_cast<double>(bytes) / params_.remote_bandwidth_bytes_per_s;
+  }
+
+  [[nodiscard]] double h2d_time(const PcieSnapshot& s) const noexcept {
+    return bulk_time(s.h2d_bytes, s.h2d_txns);
+  }
+  [[nodiscard]] double d2h_time(const PcieSnapshot& s) const noexcept {
+    return bulk_time(s.d2h_bytes, s.d2h_txns);
+  }
+  [[nodiscard]] double remote_access_time(const PcieSnapshot& s) const noexcept {
+    return remote_time(s.remote_bytes, s.remote_txns);
+  }
+
+ private:
+  PcieParams params_;
+  std::atomic<std::uint64_t> h2d_bytes_{0}, h2d_txns_{0};
+  std::atomic<std::uint64_t> d2h_bytes_{0}, d2h_txns_{0};
+  std::atomic<std::uint64_t> remote_bytes_{0}, remote_txns_{0};
+};
+
+}  // namespace sepo::gpusim

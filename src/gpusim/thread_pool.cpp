@@ -1,0 +1,117 @@
+#include "gpusim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sepo::gpusim {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    workers = hc > 0 ? hc : 1;
+  }
+  // The calling thread is always a participant; spawn workers-1 helpers.
+  const std::size_t helpers = workers > 0 ? workers - 1 : 0;
+  threads_.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || (job_ != nullptr && job_seq_ != seen); });
+      if (stop_) return;
+      job = job_;
+      seen = job_seq_;
+      // Register under the lock: the submitter cannot observe remaining==0
+      // and tear the job down between our job_ read and this increment.
+      job->in_flight.fetch_add(1, std::memory_order_relaxed);
+    }
+    help(*job);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job->in_flight.fetch_sub(1, std::memory_order_relaxed);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::help(Job& job) {
+  while (true) {
+    const std::size_t start = job.next.fetch_add(job.batch, std::memory_order_relaxed);
+    if (start >= job.n) break;
+    const std::size_t end = std::min(start + job.batch, job.n);
+    for (std::size_t i = start; i < end; ++i) job.body(i);
+    if (job.remaining.fetch_sub(end - start, std::memory_order_acq_rel) ==
+        end - start) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  Job job;
+  job.body = body;
+  job.n = n;
+  // Batch so that each worker sees on the order of 16 batches — small enough
+  // for balance, large enough to amortize the atomic claim.
+  job.batch = std::max<std::size_t>(1, n / (worker_count() * 16));
+  job.remaining.store(n, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  cv_work_.notify_all();
+  help(job);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0 &&
+             job.in_flight.load(std::memory_order_relaxed) == 0;
+    });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::run_parties(std::size_t parties,
+                             const std::function<void(std::size_t)>& body) {
+  if (parties == 0) return;
+  Job job;
+  job.body = body;
+  job.n = parties;
+  job.batch = 1;
+  job.remaining.store(parties, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  cv_work_.notify_all();
+  help(job);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return job.remaining.load(std::memory_order_acquire) == 0 &&
+             job.in_flight.load(std::memory_order_relaxed) == 0;
+    });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace sepo::gpusim

@@ -1,0 +1,66 @@
+// Host thread pool that executes virtual-GPU kernels (gpusim/launch.hpp).
+//
+// The pool provides the *concurrency* of the simulated device — thousands of
+// virtual threads are multiplexed onto the pool — while the *throughput* of
+// the device is modelled separately by gpusim::CostModel (DESIGN.md §5).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sepo::gpusim {
+
+class ThreadPool {
+ public:
+  // `workers == 0` selects the hardware concurrency.
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return threads_.size() + 1;  // workers + the calling thread
+  }
+
+  // Runs `body(i)` for every i in [0, n). Blocks until all items complete.
+  // Items are claimed dynamically in small batches so skewed per-item costs
+  // balance across workers. The calling thread participates.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // Runs `body(t)` once per participant t in [0, parties); each call runs on
+  // its own thread (calling thread is participant 0). Used for persistent
+  // per-thread work such as the CPU-baseline insert loops.
+  void run_parties(std::size_t parties,
+                   const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> body;
+    std::atomic<std::size_t> next{0};
+    std::size_t n = 0;
+    std::size_t batch = 1;
+    std::atomic<std::size_t> remaining{0};
+    // Workers currently inside help() for this job; parallel_for must not
+    // return (and destroy the stack-allocated Job) while any remain.
+    std::atomic<int> in_flight{0};
+  };
+
+  void worker_loop();
+  void help(Job& job);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;  // current job, guarded by mu_ for publication
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sepo::gpusim

@@ -1,0 +1,288 @@
+// Unit + property tests for the allocator stack: PagePool (Treiber stack),
+// HostHeap (mirror slots), BucketGroupAllocator (per-group bump + postpone
+// flags). Covers DESIGN.md invariant 4 (allocator safety).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "alloc/bucket_group_allocator.hpp"
+#include "common/random.hpp"
+#include "alloc/host_heap.hpp"
+#include "alloc/page_pool.hpp"
+#include "gpusim/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace sepo::alloc {
+namespace {
+
+using test::Rig;
+
+// ---- PagePool ----
+
+TEST(PagePoolTest, PartitionsHeapIntoPages) {
+  Rig rig(1u << 20);
+  PagePool pool(rig.dev, 64u << 10, 4u << 10);
+  EXPECT_EQ(pool.page_count(), 16u);
+  EXPECT_EQ(pool.free_count(), 16u);
+  EXPECT_EQ(pool.page_size(), 4u << 10);
+}
+
+TEST(PagePoolTest, AcquireHandsOutDistinctPages) {
+  Rig rig(1u << 20);
+  PagePool pool(rig.dev, 64u << 10, 4u << 10);
+  std::set<std::uint32_t> pages;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t p = pool.acquire(rig.stats);
+    ASSERT_NE(p, kInvalidPage);
+    EXPECT_TRUE(pages.insert(p).second) << "page handed out twice";
+  }
+  EXPECT_EQ(pool.acquire(rig.stats), kInvalidPage);  // dry
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(PagePoolTest, ReleaseMakesPageReusable) {
+  Rig rig(1u << 20);
+  PagePool pool(rig.dev, 16u << 10, 4u << 10);
+  std::vector<std::uint32_t> pages;
+  for (int i = 0; i < 4; ++i) pages.push_back(pool.acquire(rig.stats));
+  ASSERT_EQ(pool.acquire(rig.stats), kInvalidPage);
+  pool.release(pages[2]);
+  EXPECT_EQ(pool.free_count(), 1u);
+  EXPECT_EQ(pool.acquire(rig.stats), pages[2]);
+}
+
+TEST(PagePoolTest, PageBasesAreDisjointAndInHeap) {
+  Rig rig(1u << 20);
+  PagePool pool(rig.dev, 32u << 10, 4u << 10);
+  for (std::uint32_t p = 0; p + 1 < pool.page_count(); ++p)
+    EXPECT_EQ(pool.page_base(p + 1) - pool.page_base(p), 4u << 10);
+}
+
+TEST(PagePoolTest, AcquireResetsMeta) {
+  Rig rig(1u << 20);
+  PagePool pool(rig.dev, 16u << 10, 4u << 10);
+  const std::uint32_t p = pool.acquire(rig.stats);
+  pool.meta(p).used.store(1234, std::memory_order_relaxed);
+  pool.meta(p).pending_keys.store(5, std::memory_order_relaxed);
+  pool.release(p);
+  const std::uint32_t q = pool.acquire(rig.stats);
+  ASSERT_EQ(p, q);
+  EXPECT_EQ(pool.meta(q).used.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(pool.meta(q).pending_keys.load(std::memory_order_relaxed), 0u);
+}
+
+TEST(PagePoolTest, ConcurrentAcquireReleaseKeepsInvariant) {
+  Rig rig(4u << 20, /*workers=*/4);
+  PagePool pool(rig.dev, 256u << 10, 4u << 10);  // 64 pages
+  std::atomic<bool> violation{false};
+  rig.pool.parallel_for(4000, [&](std::size_t) {
+    const std::uint32_t p = pool.acquire(rig.stats);
+    if (p == kInvalidPage) return;
+    // Ownership check: in_pool must be false while we hold the page.
+    if (pool.meta(p).in_pool.load(std::memory_order_relaxed))
+      violation.store(true);
+    pool.release(p);
+  });
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(pool.free_count(), 64u);
+}
+
+// ---- HostHeap ----
+
+TEST(HostHeapTest, SlotsAreSequentialAndOneBased) {
+  HostHeap heap(4096);
+  EXPECT_EQ(heap.reserve_slot(), 1u);
+  EXPECT_EQ(heap.reserve_slot(), 2u);
+  EXPECT_EQ(heap.reserved_slots(), 2u);
+}
+
+TEST(HostHeapTest, AddressArithmeticRoundTrips) {
+  HostHeap heap(4096);
+  const std::uint64_t slot = heap.reserve_slot();
+  const HostPtr p = heap.addr(slot, 128);
+  EXPECT_EQ(p, slot * 4096 + 128);
+  EXPECT_NE(p, kHostNull);
+}
+
+TEST(HostHeapTest, StoreThenReadBack) {
+  HostHeap heap(256);
+  const std::uint64_t slot = heap.reserve_slot();
+  std::byte page[256];
+  for (int i = 0; i < 256; ++i) page[i] = static_cast<std::byte>(i);
+  heap.store_page(slot, page, 256);
+  EXPECT_TRUE(heap.slot_stored(slot));
+  EXPECT_EQ(*heap.ptr<std::uint8_t>(heap.addr(slot, 7)), 7u);
+  EXPECT_EQ(heap.stored_bytes(), 256u);
+}
+
+TEST(HostHeapTest, SlotsStoredOutOfOrder) {
+  HostHeap heap(64);
+  const auto s1 = heap.reserve_slot();
+  const auto s2 = heap.reserve_slot();
+  std::byte page[64] = {};
+  page[0] = std::byte{2};
+  heap.store_page(s2, page, 64);
+  EXPECT_TRUE(heap.slot_stored(s2));
+  EXPECT_FALSE(heap.slot_stored(s1));
+  page[0] = std::byte{1};
+  heap.store_page(s1, page, 64);
+  EXPECT_EQ(*heap.ptr<std::uint8_t>(heap.addr(s1, 0)), 1u);
+  EXPECT_EQ(*heap.ptr<std::uint8_t>(heap.addr(s2, 0)), 2u);
+}
+
+// ---- BucketGroupAllocator ----
+
+struct AllocRig {
+  AllocRig(std::size_t heap_kb, std::size_t page_kb, std::uint32_t groups,
+           std::uint32_t classes = 1)
+      : rig(4u << 20),
+        pool(rig.dev, heap_kb << 10, page_kb << 10),
+        heap(page_kb << 10),
+        alloc(pool, heap, groups, classes) {}
+
+  Rig rig;
+  PagePool pool;
+  HostHeap heap;
+  BucketGroupAllocator alloc;
+};
+
+TEST(BucketGroupAllocatorTest, AllocationsWithinGroupAreContiguous) {
+  AllocRig r(64, 4, 4);
+  const Allocation a = r.alloc.alloc(0, PageClass::kGeneric, 100, r.rig.stats);
+  const Allocation b = r.alloc.alloc(0, PageClass::kGeneric, 100, r.rig.stats);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.page, b.page);
+  EXPECT_EQ(b.dev - a.dev, 104u);  // 100 rounded to 8
+  EXPECT_EQ(b.host - a.host, 104u);
+}
+
+TEST(BucketGroupAllocatorTest, DifferentGroupsUseDifferentPages) {
+  AllocRig r(64, 4, 4);
+  const Allocation a = r.alloc.alloc(0, PageClass::kGeneric, 64, r.rig.stats);
+  const Allocation b = r.alloc.alloc(1, PageClass::kGeneric, 64, r.rig.stats);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.page, b.page);
+}
+
+TEST(BucketGroupAllocatorTest, ClassesUseSeparatePages) {
+  AllocRig r(64, 4, 2, /*classes=*/3);
+  const Allocation k = r.alloc.alloc(0, PageClass::kKey, 64, r.rig.stats);
+  const Allocation v = r.alloc.alloc(0, PageClass::kValue, 64, r.rig.stats);
+  ASSERT_TRUE(k.ok() && v.ok());
+  EXPECT_NE(k.page, v.page);
+  EXPECT_EQ(r.pool.meta(k.page).cls, PageClass::kKey);
+  EXPECT_EQ(r.pool.meta(v.page).cls, PageClass::kValue);
+}
+
+TEST(BucketGroupAllocatorTest, FullPageRetiresAndFreshPageTaken) {
+  AllocRig r(64, 4, 1);
+  const Allocation a =
+      r.alloc.alloc(0, PageClass::kGeneric, 3000, r.rig.stats);
+  const Allocation b =
+      r.alloc.alloc(0, PageClass::kGeneric, 3000, r.rig.stats);  // won't fit
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.page, b.page);
+  std::vector<std::uint32_t> retired;
+  r.alloc.take_retired_pages(retired);
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0], a.page);
+}
+
+TEST(BucketGroupAllocatorTest, FailureMarksGroupPostponed) {
+  AllocRig r(8, 4, 2);  // 2 pages total
+  ASSERT_TRUE(r.alloc.alloc(0, PageClass::kGeneric, 4000, r.rig.stats).ok());
+  ASSERT_TRUE(r.alloc.alloc(1, PageClass::kGeneric, 4000, r.rig.stats).ok());
+  EXPECT_EQ(r.alloc.postponed_groups(), 0u);
+  EXPECT_FALSE(r.alloc.alloc(0, PageClass::kGeneric, 4000, r.rig.stats).ok());
+  EXPECT_EQ(r.alloc.postponed_groups(), 1u);
+  // Same group failing again does not double-count.
+  EXPECT_FALSE(r.alloc.alloc(0, PageClass::kGeneric, 4000, r.rig.stats).ok());
+  EXPECT_EQ(r.alloc.postponed_groups(), 1u);
+  EXPECT_FALSE(r.alloc.alloc(1, PageClass::kGeneric, 4000, r.rig.stats).ok());
+  EXPECT_EQ(r.alloc.postponed_groups(), 2u);
+  r.alloc.reset_postponed();
+  EXPECT_EQ(r.alloc.postponed_groups(), 0u);
+}
+
+TEST(BucketGroupAllocatorTest, OversizedRequestFailsCleanly) {
+  AllocRig r(64, 4, 1);
+  EXPECT_FALSE(
+      r.alloc.alloc(0, PageClass::kGeneric, (4u << 10) + 8, r.rig.stats).ok());
+  EXPECT_EQ(r.rig.stats.snapshot().alloc_fails, 1u);
+  // The pool was not touched.
+  EXPECT_EQ(r.pool.free_count(), 16u);
+}
+
+TEST(BucketGroupAllocatorTest, DetachReturnsActivePages) {
+  AllocRig r(64, 4, 3);
+  (void)r.alloc.alloc(0, PageClass::kGeneric, 64, r.rig.stats);
+  (void)r.alloc.alloc(2, PageClass::kGeneric, 64, r.rig.stats);
+  std::vector<std::uint32_t> active;
+  r.alloc.detach_active_pages(active);
+  EXPECT_EQ(active.size(), 2u);
+  // After detaching, new allocations get fresh pages.
+  const Allocation again =
+      r.alloc.alloc(0, PageClass::kGeneric, 64, r.rig.stats);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(std::count(active.begin(), active.end(), again.page), 0);
+}
+
+// Property: no two allocations overlap, across groups, classes, and page
+// recycling (guard-pattern check).
+TEST(BucketGroupAllocatorProperty, AllocationsNeverOverlap) {
+  AllocRig r(128, 4, 8, /*classes=*/3);
+  Rng rng(3);
+  struct Span {
+    gpusim::DevPtr dev;
+    std::uint32_t len;
+  };
+  std::vector<Span> live;
+  for (int i = 0; i < 2000; ++i) {
+    const auto group = static_cast<std::uint32_t>(rng.below(8));
+    const auto cls = static_cast<PageClass>(rng.below(3));
+    const auto len = static_cast<std::uint32_t>(8 + rng.below(300));
+    const Allocation a = r.alloc.alloc(group, cls, len, r.rig.stats);
+    if (!a.ok()) break;
+    live.push_back({a.dev, (len + 7u) & ~7u});
+  }
+  ASSERT_GT(live.size(), 100u);
+  std::sort(live.begin(), live.end(),
+            [](const Span& a, const Span& b) { return a.dev < b.dev; });
+  for (std::size_t i = 1; i < live.size(); ++i)
+    ASSERT_GE(live[i].dev, live[i - 1].dev + live[i - 1].len)
+        << "overlap at allocation " << i;
+}
+
+// Property: writes through dev pointers land at the matching host addresses
+// after the page content is copied (dual-pointer consistency, invariant 5).
+TEST(BucketGroupAllocatorProperty, HostMirrorsDeviceContent) {
+  AllocRig r(64, 4, 2);
+  std::vector<Allocation> allocs;
+  for (int i = 0; i < 50; ++i) {
+    const Allocation a = r.alloc.alloc(i % 2, PageClass::kGeneric, 40,
+                                       r.rig.stats);
+    ASSERT_TRUE(a.ok());
+    std::memset(r.rig.dev.ptr(a.dev), i, 40);
+    allocs.push_back(a);
+  }
+  // Flush every owned page into the host heap.
+  std::vector<std::uint32_t> pages;
+  r.alloc.detach_active_pages(pages);
+  r.alloc.take_retired_pages(pages);
+  for (const std::uint32_t p : pages) {
+    const auto& m = r.pool.meta(p);
+    r.heap.store_page(m.host_slot.load(std::memory_order_relaxed),
+                      r.rig.dev.ptr(r.pool.page_base(p)),
+                      m.used.load(std::memory_order_relaxed));
+  }
+  for (std::size_t i = 0; i < allocs.size(); ++i) {
+    const auto* host = r.heap.ptr<std::uint8_t>(allocs[i].host);
+    EXPECT_EQ(*host, static_cast<std::uint8_t>(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sepo::alloc

@@ -1,0 +1,204 @@
+// Application-level tests: every implementation of every app must agree on
+// the result digest (GPU-SEPO vs CPU vs pinned vs MapCG), generators must be
+// deterministic and sized, and parsers must handle malformed records.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "apps/mr_apps.hpp"
+#include "apps/standalone_app.hpp"
+
+namespace sepo::apps {
+namespace {
+
+// Small-but-nontrivial input size used across these tests.
+constexpr std::size_t kBytes = 384u << 10;
+
+// A device this small forces at least one heap overflow for the bulkier
+// apps, exercising SEPO in the comparison.
+GpuConfig tiny_gpu() {
+  GpuConfig cfg;
+  cfg.device_bytes = 1u << 20;
+  cfg.page_size = 4u << 10;
+  cfg.num_buckets = 1u << 12;
+  cfg.buckets_per_group = 256;
+  return cfg;
+}
+
+// ---- standalone apps: parameterized cross-implementation equivalence ----
+
+enum class Which { kPvc, kIi, kDna, kNetflix };
+
+std::unique_ptr<StandaloneApp> make_app(Which w) {
+  switch (w) {
+    case Which::kPvc: return std::make_unique<PageViewCountApp>();
+    case Which::kIi: return std::make_unique<InvertedIndexApp>();
+    case Which::kDna: return std::make_unique<DnaAssemblyApp>();
+    case Which::kNetflix: return std::make_unique<NetflixApp>();
+  }
+  return nullptr;
+}
+
+class StandaloneAppSuite : public ::testing::TestWithParam<Which> {};
+
+TEST_P(StandaloneAppSuite, GpuCpuAndPinnedAgree) {
+  const auto app = make_app(GetParam());
+  const std::string input = app->generate(kBytes, 31337);
+  const RunResult gpu = app->run_gpu(input, tiny_gpu());
+  const RunResult cpu = app->run_cpu(input);
+  const RunResult pin = app->run_pinned(input, tiny_gpu());
+  EXPECT_EQ(gpu.checksum, cpu.checksum) << app->name();
+  EXPECT_EQ(pin.checksum, cpu.checksum) << app->name();
+  EXPECT_EQ(gpu.keys, cpu.keys) << app->name();
+  EXPECT_GT(gpu.keys, 0u);
+}
+
+TEST_P(StandaloneAppSuite, GeneratorIsDeterministicAndSized) {
+  const auto app = make_app(GetParam());
+  const std::string a = app->generate(kBytes, 1);
+  const std::string b = app->generate(kBytes, 1);
+  const std::string c = app->generate(kBytes, 2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_GE(a.size(), kBytes);
+  EXPECT_LT(a.size(), kBytes + (8u << 10));
+}
+
+TEST_P(StandaloneAppSuite, SepoIterationsForcedByTinyHeap) {
+  const auto app = make_app(GetParam());
+  const std::string input = app->generate(kBytes, 5);
+  GpuConfig cfg = tiny_gpu();
+  cfg.device_bytes = 512u << 10;  // even tighter
+  cfg.num_buckets = 1u << 11;
+  const RunResult gpu = app->run_gpu(input, cfg);
+  const RunResult cpu = app->run_cpu(input);
+  EXPECT_EQ(gpu.checksum, cpu.checksum) << app->name();
+  if (gpu.table_bytes > gpu.heap_bytes) {
+    EXPECT_GT(gpu.iterations, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, StandaloneAppSuite,
+                         ::testing::Values(Which::kPvc, Which::kIi,
+                                           Which::kDna, Which::kNetflix),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Which::kPvc: return "PageViewCount";
+                             case Which::kIi: return "InvertedIndex";
+                             case Which::kDna: return "DnaAssembly";
+                             case Which::kNetflix: return "Netflix";
+                           }
+                           return "?";
+                         });
+
+// ---- MapReduce apps ----
+
+class MrAppSuite : public ::testing::TestWithParam<const MrApp*> {};
+
+TEST_P(MrAppSuite, SepoAndPhoenixAgree) {
+  const MrApp& app = *GetParam();
+  const std::string input = app.generate(kBytes, 41);
+  const RunResult ours = run_mr_sepo(app, input, tiny_gpu());
+  const RunResult phoenix = run_mr_phoenix(app, input);
+  EXPECT_EQ(ours.checksum, phoenix.checksum) << app.name;
+  EXPECT_EQ(ours.keys, phoenix.keys) << app.name;
+}
+
+TEST_P(MrAppSuite, SepoAndMapCgAgreeOnSmallInput) {
+  const MrApp& app = *GetParam();
+  const std::string input = app.generate(96u << 10, 42);
+  GpuConfig cfg;  // default 4 MiB device: small input fits MapCG
+  const RunResult ours = run_mr_sepo(app, input, cfg);
+  const RunResult mapcg = run_mr_mapcg(app, input, cfg);
+  EXPECT_EQ(ours.checksum, mapcg.checksum) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMrApps, MrAppSuite,
+                         ::testing::Values(&word_count_app(),
+                                           &geo_location_app(),
+                                           &patent_citation_app()),
+                         [](const auto& info) {
+                           return std::string(info.param->table1_key);
+                         });
+
+// ---- parser robustness ----
+
+class NullEmitter final : public mapreduce::Emitter {
+ public:
+  core::Status emit(std::string_view, std::span<const std::byte>) override {
+    ++emitted;
+    return core::Status::kSuccess;
+  }
+  int emitted = 0;
+};
+
+TEST(ParserRobustness, MalformedRecordsEmitNothingAndDontCrash) {
+  NullEmitter em;
+  PageViewCountApp pvc;
+  pvc.map_record("", em);
+  pvc.map_record("not a log line", em);
+  pvc.map_record("\"GET", em);
+  InvertedIndexApp ii;
+  ii.map_record("no-tab-here", em);
+  ii.map_record("path\t<a href=\"unterminated", em);
+  DnaAssemblyApp dna;
+  dna.map_record("ACGT", em);  // shorter than k
+  NetflixApp netflix;
+  netflix.map_record("m1:", em);        // no raters
+  netflix.map_record("m1: u5,3", em);   // one rater -> no pairs
+  netflix.map_record("garbage", em);
+  EXPECT_EQ(em.emitted, 0);
+}
+
+TEST(ParserRobustness, NetflixPairKeysAreCanonical) {
+  // The pair key must not depend on the order users appear in the record.
+  class Capture final : public mapreduce::Emitter {
+   public:
+    core::Status emit(std::string_view k, std::span<const std::byte>) override {
+      keys.push_back(std::string(k));
+      return core::Status::kSuccess;
+    }
+    std::vector<std::string> keys;
+  };
+  NetflixApp app;
+  Capture a, b;
+  app.map_record("m1: u5,3 u9,4", a);
+  app.map_record("m2: u9,4 u5,3", b);
+  ASSERT_EQ(a.keys.size(), 1u);
+  ASSERT_EQ(b.keys.size(), 1u);
+  EXPECT_EQ(a.keys[0], b.keys[0]);
+}
+
+TEST(ParserRobustness, DnaEmitsOneKmerPerPosition) {
+  NullEmitter em;
+  DnaAssemblyApp dna;
+  const std::string read(40, 'A');
+  dna.map_record(read, em);
+  EXPECT_EQ(em.emitted, static_cast<int>(40 - DnaAssemblyApp::kK + 1));
+}
+
+// ---- Table I sizes ----
+
+TEST(DatagenTest, Table1SizesMatchThePaperScaled) {
+  EXPECT_EQ(table1_bytes("pvc", 1), static_cast<std::size_t>(0.6 * 1024 * 1024));
+  EXPECT_EQ(table1_bytes("dna", 4), static_cast<std::size_t>(8.0 * 1024 * 1024));
+  EXPECT_EQ(table1_bytes("wc", 2), static_cast<std::size_t>(2.0 * 1024 * 1024));
+  EXPECT_THROW(table1_bytes("nope", 1), std::invalid_argument);
+  EXPECT_THROW(table1_bytes("pvc", 5), std::invalid_argument);
+}
+
+TEST(DatagenTest, GeneratorsProduceParsableRecords) {
+  // Every line of every generator must be accepted by its app's parser.
+  PageViewCountApp pvc;
+  const std::string log = pvc.generate(64u << 10, 9);
+  const RecordIndex idx = index_lines(log);
+  NullEmitter em;
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    pvc.map_record(idx.record(log.data(), i), em);
+  EXPECT_EQ(em.emitted, static_cast<int>(idx.size()));
+}
+
+}  // namespace
+}  // namespace sepo::apps

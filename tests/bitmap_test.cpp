@@ -1,0 +1,115 @@
+// Unit tests for sepo::AtomicBitmap — the SEPO "processed records" bitmap.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/bitmap.hpp"
+
+namespace sepo {
+namespace {
+
+TEST(BitmapTest, StartsCleared) {
+  AtomicBitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(BitmapTest, SetReturnsWhetherBitWasNew) {
+  AtomicBitmap b(10);
+  EXPECT_TRUE(b.set(3));
+  EXPECT_FALSE(b.set(3));
+  EXPECT_TRUE(b.test(3));
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(BitmapTest, UnsetReturnsWhetherBitWasSet) {
+  AtomicBitmap b(10);
+  EXPECT_FALSE(b.unset(5));
+  b.set(5);
+  EXPECT_TRUE(b.unset(5));
+  EXPECT_FALSE(b.test(5));
+}
+
+TEST(BitmapTest, WordBoundaries) {
+  AtomicBitmap b(130);
+  for (const std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    EXPECT_TRUE(b.set(i)) << i;
+    EXPECT_TRUE(b.test(i)) << i;
+  }
+  EXPECT_EQ(b.count(), 7u);
+}
+
+TEST(BitmapTest, AllDetectsCompletion) {
+  AtomicBitmap b(65);  // straddles a word boundary
+  for (std::size_t i = 0; i < 64; ++i) b.set(i);
+  EXPECT_FALSE(b.all());
+  b.set(64);
+  EXPECT_TRUE(b.all());
+}
+
+TEST(BitmapTest, FirstUnsetFromScansPastSetRuns) {
+  AtomicBitmap b(200);
+  for (std::size_t i = 0; i < 150; ++i) b.set(i);
+  EXPECT_EQ(b.first_unset_from(0), 150u);
+  EXPECT_EQ(b.first_unset_from(150), 150u);
+  EXPECT_EQ(b.first_unset_from(151), 151u);
+  b.set(150);
+  EXPECT_EQ(b.first_unset_from(100), 151u);
+}
+
+TEST(BitmapTest, FirstUnsetReturnsSizeWhenFull) {
+  AtomicBitmap b(70);
+  for (std::size_t i = 0; i < 70; ++i) b.set(i);
+  EXPECT_EQ(b.first_unset_from(0), 70u);
+  EXPECT_EQ(b.first_unset_from(69), 70u);
+  EXPECT_EQ(b.first_unset_from(1000), 70u);
+}
+
+TEST(BitmapTest, FirstUnsetIgnoresBitsBelowFrom) {
+  AtomicBitmap b(100);
+  // bit 10 unset, but we start at 20
+  for (std::size_t i = 11; i < 50; ++i) b.set(i);
+  EXPECT_EQ(b.first_unset_from(20), 50u);
+}
+
+TEST(BitmapTest, ClearResetsAllBits) {
+  AtomicBitmap b(100);
+  for (std::size_t i = 0; i < 100; i += 3) b.set(i);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(BitmapTest, ResetChangesSize) {
+  AtomicBitmap b(10);
+  b.set(9);
+  b.reset(1000);
+  EXPECT_EQ(b.size(), 1000u);
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(BitmapTest, ZeroSizeIsFullAndEmpty) {
+  AtomicBitmap b(0);
+  EXPECT_TRUE(b.all());
+  EXPECT_EQ(b.first_unset_from(0), 0u);
+}
+
+TEST(BitmapTest, ConcurrentSetsCountEachBitOnce) {
+  constexpr std::size_t kBits = 4096;
+  AtomicBitmap b(kBits);
+  std::atomic<std::size_t> new_bits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kBits; ++i)
+        if (b.set(i)) new_bits.fetch_add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(new_bits.load(), kBits);  // each bit newly set exactly once
+  EXPECT_TRUE(b.all());
+}
+
+}  // namespace
+}  // namespace sepo

@@ -1,0 +1,181 @@
+// Unit tests for common utilities: hashing, RNG/Zipf, strings, tables.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/hashing.hpp"
+#include "common/random.hpp"
+#include "common/strings.hpp"
+#include "common/table_printer.hpp"
+
+namespace sepo {
+namespace {
+
+// ---- hashing ----
+
+TEST(HashingTest, DeterministicAndLengthSensitive) {
+  EXPECT_EQ(hash_key("hello"), hash_key("hello"));
+  EXPECT_NE(hash_key("hello"), hash_key("hello "));
+  EXPECT_NE(hash_key("a"), hash_key("b"));
+  EXPECT_NE(hash_key(std::string_view("a", 1)), hash_key(std::string_view("a\0", 2)));
+}
+
+TEST(HashingTest, EmptyKeyIsValid) {
+  EXPECT_EQ(hash_key(""), hash_key(std::string_view{}));
+}
+
+TEST(HashingTest, LowBitsWellDistributed) {
+  // Bucket selection uses the low bits; sequential keys must spread.
+  std::map<std::uint64_t, int> buckets;
+  constexpr std::uint64_t kMask = 255;
+  for (int i = 0; i < 25600; ++i)
+    buckets[hash_key("key-" + std::to_string(i)) & kMask]++;
+  EXPECT_EQ(buckets.size(), 256u);  // every bucket hit
+  for (const auto& [b, n] : buckets) EXPECT_LT(n, 200) << b;  // ~100 expected
+}
+
+TEST(HashingTest, CombineIsOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_EQ(hash_combine(1, 2), hash_combine(1, 2));
+}
+
+TEST(HashingTest, Mix64Avalanches) {
+  // Flipping one input bit flips ~half the output bits.
+  const std::uint64_t a = mix64(0x1234567890abcdefULL);
+  const std::uint64_t b = mix64(0x1234567890abcdeeULL);
+  const int flipped = std::popcount(a ^ b);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+// ---- random ----
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(RandomTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(RandomTest, RangeInclusive) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(5, 8));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{5, 6, 7, 8}));
+}
+
+TEST(RandomTest, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ZipfTest, RankZeroIsMostPopular) {
+  Rng rng(11);
+  Zipf z(1000, 1.0);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.sample(rng)]++;
+  // Rank 0 beats rank 10 beats rank 100.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  // Top rank's share near 1/H(1000) ~ 13%.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 50000, 0.13, 0.03);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  Rng rng(12);
+  Zipf z(50, 0.5);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(z.sample(rng), 50u);
+}
+
+// ---- strings ----
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hi \t\r\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringsTest, ParseU64) {
+  std::string_view s = "12345abc";
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64(s, v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_EQ(s, "abc");
+  EXPECT_FALSE(parse_u64(s, v));  // 'a' is not a digit
+}
+
+TEST(StringsTest, IndexLinesSkipsEmpty) {
+  const RecordIndex idx = index_lines("one\n\ntwo\nthree");
+  ASSERT_EQ(idx.size(), 3u);
+  const char* base = "one\n\ntwo\nthree";
+  EXPECT_EQ(idx.record(base, 0), "one");
+  EXPECT_EQ(idx.record(base, 1), "two");
+  EXPECT_EQ(idx.record(base, 2), "three");  // no trailing newline
+}
+
+TEST(StringsTest, IndexLinesEmptyInput) {
+  EXPECT_EQ(index_lines("").size(), 0u);
+  EXPECT_EQ(index_lines("\n\n\n").size(), 0u);
+}
+
+// ---- table printer ----
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.add_row({"long-name-here", "1"});
+  t.add_row({"x", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name           | v  |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| x              | 22 |"), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells render empty
+  EXPECT_NE(os.str().find("| 1 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ByteFormatting) {
+  EXPECT_EQ(TablePrinter::fmt_bytes(512), "512 B");
+  EXPECT_EQ(TablePrinter::fmt_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(TablePrinter::fmt_bytes(3u << 20), "3.00 MiB");
+  EXPECT_EQ(TablePrinter::fmt_bytes(5ull << 30), "5.00 GiB");
+}
+
+}  // namespace
+}  // namespace sepo

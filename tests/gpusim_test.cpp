@@ -1,0 +1,242 @@
+// Unit tests for the virtual-GPU substrate: thread pool, device memory,
+// kernel launch, device locks, PCIe metering, cost model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/pcie.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace sepo::gpusim {
+namespace {
+
+// ---- thread pool ----
+
+TEST(ThreadPoolTest, ParallelForVisitsEachItemOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> n{0};
+    pool.parallel_for(97, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 97);
+  }
+}
+
+TEST(ThreadPoolTest, RunPartiesGivesDistinctIds) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(8);
+  pool.run_parties(8, [&](std::size_t party) { seen[party].fetch_add(1); });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+// ---- device ----
+
+TEST(DeviceTest, StaticAllocationsAreAlignedAndDisjoint) {
+  Device dev(1u << 20);
+  const DevPtr a = dev.alloc_static(100, 8);
+  const DevPtr b = dev.alloc_static(100, 64);
+  EXPECT_NE(a, kDevNull);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 100);
+}
+
+TEST(DeviceTest, NullOffsetNeverAllocated) {
+  Device dev(1u << 16);
+  EXPECT_GE(dev.alloc_static(8), 64u);  // first 64 bytes burned for null
+}
+
+TEST(DeviceTest, ThrowsWhenExhausted) {
+  Device dev(4096);
+  (void)dev.alloc_static(3000);
+  EXPECT_THROW((void)dev.alloc_static(3000), std::bad_alloc);
+}
+
+TEST(DeviceTest, MemFreeAccountsForAlignment) {
+  Device dev(1u << 16);
+  (void)dev.alloc_static(100);
+  const std::size_t free = dev.mem_free(64);
+  // The next 64-aligned allocation of exactly `free` bytes must succeed.
+  EXPECT_NO_THROW((void)dev.alloc_static(free, 64));
+  EXPECT_THROW((void)dev.alloc_static(1), std::bad_alloc);
+}
+
+TEST(DeviceTest, CopiesAreMeteredOnTheBus) {
+  Device dev(1u << 16);
+  const DevPtr p = dev.alloc_static(256);
+  char host[256] = {42};
+  dev.copy_h2d(p, host, 256);
+  char back[256] = {};
+  dev.copy_d2h(back, p, 128);
+  const PcieSnapshot s = dev.bus().snapshot();
+  EXPECT_EQ(s.h2d_bytes, 256u);
+  EXPECT_EQ(s.h2d_txns, 1u);
+  EXPECT_EQ(s.d2h_bytes, 128u);
+  EXPECT_EQ(back[0], 42);
+}
+
+// ---- launch ----
+
+TEST(LaunchTest, GridStrideCoversAllItems) {
+  ThreadPool pool(2);
+  RunStats stats;
+  std::vector<std::atomic<int>> hits(10000);
+  launch(pool, stats, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+         {.grid_threads = 64});
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.snapshot().kernel_launches, 1u);
+}
+
+TEST(LaunchTest, DefaultGridIsOneThreadPerItem) {
+  ThreadPool pool(2);
+  RunStats stats;
+  std::atomic<int> n{0};
+  launch(pool, stats, 100, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 100);
+}
+
+TEST(DeviceLockTest, MutualExclusion) {
+  ThreadPool pool(4);
+  RunStats stats;
+  DeviceLock lock;
+  std::int64_t counter = 0;  // protected by `lock`
+  pool.parallel_for(20000, [&](std::size_t) {
+    DeviceLockGuard g(lock, stats);
+    ++counter;
+  });
+  EXPECT_EQ(counter, 20000);
+  EXPECT_EQ(stats.snapshot().lock_acquires, 20000u);
+}
+
+TEST(DeviceLockTest, TryLockReportsHeldState) {
+  RunStats stats;
+  DeviceLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+// ---- pcie ----
+
+TEST(PcieTest, BulkTimeIsLatencyPlusBandwidth) {
+  PcieBus bus({.bandwidth_bytes_per_s = 1e9, .latency_s = 1e-6});
+  // 10 txns x 1us + 1e6 bytes / 1e9 B/s = 10us + 1000us
+  EXPECT_NEAR(bus.bulk_time(1000000, 10), 1.01e-3, 1e-9);
+}
+
+TEST(PcieTest, CountersAccumulate) {
+  PcieBus bus;
+  bus.h2d(100);
+  bus.h2d(200);
+  bus.d2h(50);
+  bus.remote(8);
+  bus.remote(8);
+  const PcieSnapshot s = bus.snapshot();
+  EXPECT_EQ(s.h2d_bytes, 300u);
+  EXPECT_EQ(s.h2d_txns, 2u);
+  EXPECT_EQ(s.d2h_txns, 1u);
+  EXPECT_EQ(s.remote_bytes, 16u);
+  EXPECT_EQ(s.remote_txns, 2u);
+}
+
+TEST(PcieTest, RemoteAccessesCostMoreThanBulkPerByte) {
+  PcieBus bus;
+  const double bulk = bus.bulk_time(1u << 20, 1);
+  const double remote = bus.remote_time(1u << 20, 16384);  // 64B txns
+  EXPECT_GT(remote, bulk * 5);
+}
+
+// ---- cost model ----
+
+TEST(CostModelTest, MoreWorkCostsMoreTime) {
+  StatsSnapshot a, b;
+  a.work_units = 1000;
+  b.work_units = 2000;
+  EXPECT_LT(compute_time(kGpuDesc, a), compute_time(kGpuDesc, b));
+  EXPECT_LT(compute_time(kCpuDesc, a), compute_time(kCpuDesc, b));
+}
+
+TEST(CostModelTest, GpuBeatsCpuOnRawThroughput) {
+  StatsSnapshot s;
+  s.work_units = 100u << 20;
+  EXPECT_LT(compute_time(kGpuDesc, s), compute_time(kCpuDesc, s));
+}
+
+TEST(CostModelTest, DivergenceOnlyHurtsTheGpu) {
+  StatsSnapshot s;
+  s.divergent_units = 1u << 20;
+  EXPECT_GT(compute_time(kGpuDesc, s), 0.0);
+  EXPECT_EQ(compute_time(kCpuDesc, s), 0.0);
+}
+
+TEST(CostModelTest, H2dOverlapsComputeButD2hDoesNot) {
+  StatsSnapshot s;
+  s.work_units = 24u << 20;  // 1ms of GPU compute at 24 GB/s
+  PcieBus bus;
+  PcieSnapshot p;
+  p.h2d_bytes = 6u << 20;  // 0.5ms of transfer: hidden under compute
+  p.h2d_txns = 6;
+  const GpuTimeBreakdown b1 = gpu_time(kGpuDesc, s, bus, p);
+  EXPECT_NEAR(b1.total, b1.compute, b1.compute * 0.01);
+  p.d2h_bytes = 6u << 20;  // flushes serialize
+  p.d2h_txns = 6;
+  const GpuTimeBreakdown b2 = gpu_time(kGpuDesc, s, bus, p);
+  EXPECT_GT(b2.total, b1.total);
+}
+
+TEST(CostModelTest, HotLockSerializationKicksInAboveFairShare) {
+  SerializationInputs fair{.total_lock_ops = 2048 * 100,
+                           .max_same_lock_ops = 100,
+                           .serial_atomic_ops = 0};
+  EXPECT_EQ(serialization_time(kGpuDesc, fair), 0.0);
+  SerializationInputs hot{.total_lock_ops = 2048 * 100,
+                          .max_same_lock_ops = 50000,
+                          .serial_atomic_ops = 0};
+  EXPECT_GT(serialization_time(kGpuDesc, hot), 0.0);
+}
+
+TEST(CostModelTest, CpuToleratesHotterLocksThanGpu) {
+  // The same hot-key distribution hurts a 2048-context device long before an
+  // 8-thread CPU (paper §VI-B on Word Count).
+  SerializationInputs s{.total_lock_ops = 100000,
+                        .max_same_lock_ops = 7000,
+                        .serial_atomic_ops = 0};
+  EXPECT_GT(serialization_time(kGpuDesc, s), serialization_time(kCpuDesc, s));
+}
+
+TEST(CostModelTest, SerialAtomicsArePureOverhead) {
+  SerializationInputs s{.total_lock_ops = 0,
+                        .max_same_lock_ops = 0,
+                        .serial_atomic_ops = 1000000};
+  EXPECT_NEAR(serialization_time(kGpuDesc, s),
+              1e6 * kGpuDesc.sec_per_serial_atomic, 1e-12);
+}
+
+}  // namespace
+}  // namespace sepo::gpusim

@@ -1,0 +1,232 @@
+// Parameterized property sweeps: the SEPO hash table must be equivalent to
+// a sequential reference across the cross-product of organization, page
+// size, bucket count, worker count, and heap pressure (DESIGN.md §4
+// invariant 1). These are the widest-coverage tests in the suite.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/random.hpp"
+#include "core/sepo_driver.hpp"
+#include "test_util.hpp"
+
+namespace sepo::core {
+namespace {
+
+using test::Rig;
+using test::as_u64;
+
+// (organization, page_size_log2, num_buckets_log2, workers, device_kb)
+using SweepParam = std::tuple<Organization, int, int, int, int>;
+
+class TableSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Random KV workload with binary-unfriendly keys: embedded spaces, variable
+// lengths, shared prefixes.
+std::string sweep_input(std::size_t records, std::uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < records; ++i) {
+    const std::uint64_t k = rng.below(records / 3 + 1);
+    os << "prefix/shared/key=" << k;
+    // variable-length tail on some keys
+    if (k % 7 == 0) os << "/tail-" << std::string(1 + k % 60, 'x');
+    os << '\n';
+  }
+  return os.str();
+}
+
+TEST_P(TableSweep, MatchesSequentialReference) {
+  const auto [org, page_log2, buckets_log2, workers, device_kb] = GetParam();
+
+  Rig rig(static_cast<std::size_t>(device_kb) << 10,
+          static_cast<std::size_t>(workers));
+  bigkernel::PipelineConfig pcfg;
+  pcfg.records_per_chunk = 256;
+  pcfg.max_chunk_bytes = 24u << 10;
+  pcfg.num_staging_buffers = 2;
+  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+
+  HashTableConfig cfg;
+  cfg.org = org;
+  cfg.num_buckets = 1u << buckets_log2;
+  cfg.buckets_per_group = std::max(1u, (1u << buckets_log2) / 16);
+  cfg.page_size = std::size_t{1} << page_log2;
+  if (org == Organization::kCombining) cfg.combiner = combine_sum_u64;
+  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+
+  const std::string input = sweep_input(6000, 1000 + buckets_log2);
+  const RecordIndex idx = index_lines(input);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  (void)driver.run(ht, pipe, input, idx, progress,
+                   [&](std::size_t i, std::string_view body) {
+                     return ht.insert_u64(body, i + 1);
+                   });
+  ASSERT_TRUE(progress.all_done());
+  const HostTable t = ht.finalize();
+
+  // Sequential reference.
+  std::unordered_map<std::string, std::uint64_t> sum_ref;
+  std::unordered_map<std::string, std::size_t> count_ref;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const std::string key(idx.record(input.data(), i));
+    sum_ref[key] += i + 1;
+    count_ref[key] += 1;
+  }
+
+  switch (org) {
+    case Organization::kCombining: {
+      ASSERT_EQ(t.entry_count(), sum_ref.size());
+      std::size_t n = 0;
+      t.for_each([&](std::string_view k, std::span<const std::byte> v) {
+        ASSERT_EQ(as_u64(v), sum_ref.at(std::string(k))) << k;
+        ++n;
+      });
+      ASSERT_EQ(n, sum_ref.size());
+      break;
+    }
+    case Organization::kBasic: {
+      ASSERT_EQ(t.entry_count(), idx.size());
+      for (const auto& [k, c] : count_ref)
+        ASSERT_EQ(t.lookup_all(k).size(), c) << k;
+      break;
+    }
+    case Organization::kMultiValued: {
+      ASSERT_EQ(t.value_count(), idx.size());
+      std::size_t groups = 0;
+      t.for_each_group(
+          [&](std::string_view k,
+              const std::vector<std::span<const std::byte>>& vals) {
+            ASSERT_EQ(vals.size(), count_ref.at(std::string(k))) << k;
+            ++groups;
+          });
+      ASSERT_EQ(groups, count_ref.size());
+      break;
+    }
+  }
+}
+
+// The interesting corners of the cross-product rather than the full blowup:
+// every organization under (tight heap, generous heap) x (small, large
+// pages) x (1 worker, 4 workers).
+INSTANTIATE_TEST_SUITE_P(
+    Organizations, TableSweep,
+    ::testing::Values(
+        SweepParam{Organization::kCombining, 11, 9, 1, 256},
+        SweepParam{Organization::kCombining, 11, 9, 4, 256},
+        SweepParam{Organization::kCombining, 13, 11, 4, 2048},
+        SweepParam{Organization::kCombining, 9, 6, 2, 192},
+        SweepParam{Organization::kBasic, 11, 9, 1, 320},
+        SweepParam{Organization::kBasic, 11, 9, 4, 320},
+        SweepParam{Organization::kBasic, 13, 11, 4, 2048},
+        SweepParam{Organization::kBasic, 9, 6, 2, 256},
+        SweepParam{Organization::kMultiValued, 11, 9, 1, 320},
+        SweepParam{Organization::kMultiValued, 11, 9, 4, 320},
+        SweepParam{Organization::kMultiValued, 13, 11, 4, 2048},
+        SweepParam{Organization::kMultiValued, 9, 6, 2, 256}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      // NOTE: no structured bindings here — the [a, b] brackets would split
+      // the INSTANTIATE macro's arguments.
+      std::string name = to_string(std::get<0>(info.param));
+      name += "_p" + std::to_string(1 << std::get<1>(info.param)) + "_b" +
+              std::to_string(1 << std::get<2>(info.param)) + "_w" +
+              std::to_string(std::get<3>(info.param)) + "_kb" +
+              std::to_string(std::get<4>(info.param));
+      for (auto& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// Binary-safe keys and values: embedded NULs, high bytes, zero-length
+// values. The table stores bytes, not C strings.
+TEST(BinarySafetyTest, KeysAndValuesWithEmbeddedNulsAndHighBytes) {
+  Rig rig(2u << 20);
+  HashTableConfig cfg;
+  cfg.num_buckets = 256;
+  cfg.buckets_per_group = 32;
+  cfg.page_size = 2u << 10;
+  cfg.org = Organization::kBasic;
+  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  ht.begin_iteration();
+
+  const std::string k1("\0\x01\xff key", 9);
+  const std::string k2("\0\x01\xfe key", 9);  // differs one byte inside
+  const std::string v1("\xde\xad\0\xbe\xef", 5);
+  ASSERT_EQ(ht.insert(k1, std::as_bytes(std::span{v1.data(), v1.size()})),
+            Status::kSuccess);
+  ASSERT_EQ(ht.insert(k2, std::span<const std::byte>{}), Status::kSuccess);
+  ht.end_iteration();
+  const HostTable t = ht.finalize();
+  const auto got1 = t.lookup(k1);
+  ASSERT_TRUE(got1.has_value());
+  EXPECT_EQ(test::bytes_to_string(*got1), v1);
+  const auto got2 = t.lookup(k2);
+  ASSERT_TRUE(got2.has_value());
+  EXPECT_EQ(got2->size(), 0u);  // zero-length value round-trips
+  EXPECT_FALSE(t.lookup(std::string("\0\x01\xfd key", 9)).has_value());
+}
+
+TEST(BinarySafetyTest, EmptyKeyIsAValidKey) {
+  Rig rig(1u << 20);
+  HashTableConfig cfg;
+  cfg.num_buckets = 64;
+  cfg.buckets_per_group = 8;
+  cfg.page_size = 1u << 10;
+  cfg.combiner = combine_sum_u64;
+  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  ht.begin_iteration();
+  ASSERT_EQ(ht.insert_u64("", 5), Status::kSuccess);
+  ASSERT_EQ(ht.insert_u64("", 6), Status::kSuccess);
+  ht.end_iteration();
+  const HostTable t = ht.finalize();
+  EXPECT_EQ(t.lookup_u64(""), 11u);
+}
+
+// Worker-count robustness for the full driver loop under heap pressure.
+class WorkerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkerSweep, DriverConvergesAndCountsMatch) {
+  Rig rig(256u << 10, static_cast<std::size_t>(GetParam()));
+  bigkernel::PipelineConfig pcfg;
+  pcfg.records_per_chunk = 128;
+  pcfg.max_chunk_bytes = 8u << 10;
+  pcfg.num_staging_buffers = 2;
+  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  HashTableConfig cfg;
+  cfg.num_buckets = 1u << 9;
+  cfg.buckets_per_group = 32;
+  cfg.page_size = 2u << 10;
+  cfg.combiner = combine_sum_u64;
+  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+
+  Rng rng(GetParam());
+  std::ostringstream os;
+  for (int i = 0; i < 16000; ++i) os << "key-" << rng.below(16000) << '\n';
+  const std::string input = os.str();
+  const RecordIndex idx = index_lines(input);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  const DriverResult res = driver.run(
+      ht, pipe, input, idx, progress,
+      [&](std::size_t, std::string_view body) {
+        return ht.insert_u64(body, 1);
+      });
+  EXPECT_GT(res.iterations, 1u);
+  const HostTable t = ht.finalize();
+  std::uint64_t total = 0;
+  t.for_each([&](std::string_view, std::span<const std::byte> v) {
+    total += as_u64(v);
+  });
+  EXPECT_EQ(total, 16000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace sepo::core

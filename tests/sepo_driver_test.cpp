@@ -1,0 +1,304 @@
+// Integration + property tests for the SEPO iteration protocol: tables that
+// grow beyond device memory must converge over multiple iterations and end
+// up equivalent to a sequential reference (DESIGN.md §4 invariants 1, 2, 6).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.hpp"
+#include "core/sepo_driver.hpp"
+#include "test_util.hpp"
+
+namespace sepo::core {
+namespace {
+
+using test::Rig;
+using test::as_u64;
+
+// Builds a synthetic key-per-line input with `n` records drawn from
+// `distinct` keys (Zipf-skewed when zipf > 0).
+std::string make_input(std::size_t n, std::size_t distinct, double zipf,
+                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream os;
+  if (zipf > 0) {
+    Zipf z(distinct, zipf);
+    for (std::size_t i = 0; i < n; ++i)
+      os << "key-" << z.sample(rng) << "\n";
+  } else {
+    for (std::size_t i = 0; i < n; ++i)
+      os << "key-" << rng.below(distinct) << "\n";
+  }
+  return os.str();
+}
+
+struct DriverRig {
+  DriverRig(std::size_t device_bytes, Organization org,
+            std::size_t page_size = 4u << 10, std::size_t heap_bytes = 0)
+      : rig(device_bytes) {
+    // Static structures (input staging ring) are allocated before the hash
+    // table so its heap gets only what remains (paper §IV-A ordering).
+    bigkernel::PipelineConfig pcfg;
+    pcfg.records_per_chunk = 512;
+    pcfg.max_chunk_bytes = 16u << 10;
+    pcfg.num_staging_buffers = 2;
+    pipe = std::make_unique<bigkernel::InputPipeline>(rig.dev, rig.pool,
+                                                      rig.stats, pcfg);
+    HashTableConfig cfg;
+    cfg.org = org;
+    cfg.num_buckets = 1u << 10;
+    cfg.buckets_per_group = 16;
+    cfg.page_size = page_size;
+    cfg.heap_bytes = heap_bytes;
+    if (org == Organization::kCombining) cfg.combiner = combine_sum_u64;
+    ht = std::make_unique<SepoHashTable>(rig.dev, rig.pool, rig.stats, cfg);
+  }
+
+  Rig rig;
+  std::unique_ptr<SepoHashTable> ht;
+  std::unique_ptr<bigkernel::InputPipeline> pipe;
+};
+
+// Runs a page-view-count-style workload (insert <line, 1>, combining) and
+// checks the result against a sequential std::unordered_map.
+void run_combining_and_check(std::size_t device_kb, std::size_t n,
+                             std::size_t distinct, double zipf,
+                             std::uint32_t* iterations_out = nullptr) {
+  const std::string input = make_input(n, distinct, zipf, /*seed=*/n + distinct);
+  const RecordIndex idx = index_lines(input);
+
+  DriverRig d(device_kb << 10, Organization::kCombining, 2u << 10);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  const DriverResult res = driver.run(
+      *d.ht, *d.pipe, input, idx, progress,
+      [&](std::size_t, std::string_view body) {
+        return d.ht->insert_u64(body, 1);
+      });
+  EXPECT_TRUE(progress.all_done());
+  const HostTable t = d.ht->finalize();
+
+  std::unordered_map<std::string, std::uint64_t> ref;
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    ref[std::string(idx.record(input.data(), i))] += 1;
+
+  ASSERT_EQ(t.entry_count(), ref.size())
+      << "iterations=" << res.iterations;
+  std::size_t seen = 0;
+  t.for_each([&](std::string_view k, std::span<const std::byte> v) {
+    auto it = ref.find(std::string(k));
+    ASSERT_NE(it, ref.end()) << k;
+    EXPECT_EQ(as_u64(v), it->second) << k;
+    ++seen;
+  });
+  EXPECT_EQ(seen, ref.size());
+  if (iterations_out) *iterations_out = res.iterations;
+}
+
+TEST(SepoDriverCombining, SingleIterationWhenTableFits) {
+  std::uint32_t iters = 0;
+  run_combining_and_check(/*device_kb=*/4096, /*n=*/5000, /*distinct=*/500,
+                          /*zipf=*/0.0, &iters);
+  EXPECT_EQ(iters, 1u);
+}
+
+TEST(SepoDriverCombining, MultipleIterationsWhenTableExceedsMemory) {
+  std::uint32_t iters = 0;
+  // ~20k distinct keys of ~30 bytes each ≈ 1.2 MB of entries; 256 KB device.
+  run_combining_and_check(/*device_kb=*/256, /*n=*/40000, /*distinct=*/20000,
+                          /*zipf=*/0.0, &iters);
+  EXPECT_GT(iters, 1u);
+}
+
+TEST(SepoDriverCombining, ZipfSkewStillConverges) {
+  run_combining_and_check(/*device_kb=*/256, /*n=*/30000, /*distinct=*/15000,
+                          /*zipf=*/1.05);
+}
+
+// DESIGN.md invariant 2: under Combining, a key appears exactly once in the
+// final table regardless of the number of iterations. run_combining_and_check
+// already asserts entry_count == |distinct keys|; this parameterized sweep
+// drives heap sizes from "fits easily" to "16x too small".
+class CombiningHeapSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CombiningHeapSweep, KeyAppearsExactlyOnce) {
+  run_combining_and_check(/*device_kb=*/GetParam(), /*n=*/20000,
+                          /*distinct=*/10000, /*zipf=*/0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(HeapSizes, CombiningHeapSweep,
+                         ::testing::Values(96, 128, 192, 256, 512, 1024, 4096));
+
+TEST(SepoDriverBasic, AllDuplicatesRetainedAcrossIterations) {
+  const std::size_t n = 20000;
+  const std::string input = make_input(n, /*distinct=*/4000, /*zipf=*/0.9, 7);
+  const RecordIndex idx = index_lines(input);
+
+  DriverRig d(256u << 10, Organization::kBasic, 2u << 10);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  std::uint64_t emitted = 0;
+  const DriverResult res = driver.run(
+      *d.ht, *d.pipe, input, idx, progress,
+      [&](std::size_t i, std::string_view body) {
+        const Status s = d.ht->insert_u64(body, i);
+        return s;
+      });
+  EXPECT_GT(res.iterations, 1u);
+  (void)emitted;
+  const HostTable t = d.ht->finalize();
+  // Every record produced exactly one entry.
+  EXPECT_EQ(t.entry_count(), n);
+
+  std::unordered_map<std::string, std::size_t> ref;
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    ref[std::string(idx.record(input.data(), i))]++;
+  for (const auto& [k, cnt] : ref)
+    ASSERT_EQ(t.lookup_all(k).size(), cnt) << k;
+}
+
+TEST(SepoDriverBasic, HaltTriggersMidPass) {
+  // With a heap far smaller than the data, the basic organization must halt
+  // passes early (50% rule) rather than scan the whole input uselessly.
+  const std::string input = make_input(30000, 30000, 0.0, 11);
+  const RecordIndex idx = index_lines(input);
+  DriverRig d(192u << 10, Organization::kBasic, 2u << 10);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  const DriverResult res = driver.run(
+      *d.ht, *d.pipe, input, idx, progress,
+      [&](std::size_t, std::string_view body) {
+        return d.ht->insert_u64(body, 1);
+      });
+  EXPECT_GT(res.iterations, 2u);
+  EXPECT_TRUE(progress.all_done());
+}
+
+TEST(SepoDriverMultiValued, GroupsSurviveIterations) {
+  // patent-citation-style input: "cited citing" pairs; group by cited.
+  Rng rng(99);
+  std::ostringstream os;
+  std::map<std::string, std::multiset<std::string>> ref;
+  for (int i = 0; i < 12000; ++i) {
+    const std::string cited = "P" + std::to_string(rng.below(900));
+    const std::string citing = "C" + std::to_string(i);
+    os << cited << ' ' << citing << '\n';
+    ref[cited].insert(citing);
+  }
+  const std::string input = os.str();
+  const RecordIndex idx = index_lines(input);
+
+  DriverRig d(160u << 10, Organization::kMultiValued, 2u << 10);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  const DriverResult res = driver.run(
+      *d.ht, *d.pipe, input, idx, progress,
+      [&](std::size_t, std::string_view body) {
+        const auto sp = body.find(' ');
+        const std::string_view key = body.substr(0, sp);
+        const std::string_view val = body.substr(sp + 1);
+        return d.ht->insert(key,
+                            std::as_bytes(std::span{val.data(), val.size()}));
+      });
+  EXPECT_GT(res.iterations, 1u);
+  const HostTable t = d.ht->finalize();
+  // Key entries may exceed distinct keys when the resident-key cap forced a
+  // flush of pending key pages; groups are merged at read time.
+  ASSERT_GE(t.entry_count(), ref.size());
+  std::size_t groups_checked = 0;
+  t.for_each_group([&](std::string_view k,
+                       const std::vector<std::span<const std::byte>>& vals) {
+    auto it = ref.find(std::string(k));
+    ASSERT_NE(it, ref.end());
+    std::multiset<std::string> got;
+    for (const auto& v : vals) got.insert(test::bytes_to_string(v));
+    EXPECT_EQ(got, it->second) << k;
+    ++groups_checked;
+  });
+  EXPECT_EQ(groups_checked, ref.size());
+  EXPECT_EQ(t.value_count(), 12000u);
+}
+
+TEST(SepoDriverMultiValued, SingleIterationWhenFits) {
+  std::ostringstream os;
+  for (int i = 0; i < 500; ++i) os << "k" << (i % 50) << " v" << i << '\n';
+  const std::string input = os.str();
+  const RecordIndex idx = index_lines(input);
+  DriverRig d(4u << 20, Organization::kMultiValued);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  const DriverResult res = driver.run(
+      *d.ht, *d.pipe, input, idx, progress,
+      [&](std::size_t, std::string_view body) {
+        const auto sp = body.find(' ');
+        return d.ht->insert(body.substr(0, sp),
+                            std::as_bytes(std::span{body.data() + sp + 1,
+                                                    body.size() - sp - 1}));
+      });
+  EXPECT_EQ(res.iterations, 1u);
+  EXPECT_EQ(d.ht->finalize().value_count(), 500u);
+}
+
+TEST(SepoDriverError, ThrowsWhenNoProgressPossible) {
+  // A single record whose entry exceeds the entire heap can never be stored.
+  std::string input(3000, 'x');
+  input += "\n";
+  const RecordIndex idx = index_lines(input);
+  DriverRig d(96u << 10, Organization::kBasic, /*page_size=*/1u << 10,
+              /*heap_bytes=*/2u << 10);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  EXPECT_THROW(driver.run(*d.ht, *d.pipe, input, idx, progress,
+                          [&](std::size_t, std::string_view body) {
+                            return d.ht->insert_u64(body, 1);
+                          }),
+               std::runtime_error);
+}
+
+TEST(SepoDriverTransfers, SkippedChunksSaveStaging) {
+  // Second and later iterations must not re-stage chunks whose records are
+  // all processed ("reorganizes the computation so as to minimize CPU-GPU
+  // data transfers").
+  const std::string input = make_input(20000, 10000, 0.0, 5);
+  const RecordIndex idx = index_lines(input);
+  DriverRig d(256u << 10, Organization::kCombining, 2u << 10);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  const DriverResult res = driver.run(
+      *d.ht, *d.pipe, input, idx, progress,
+      [&](std::size_t, std::string_view body) {
+        return d.ht->insert_u64(body, 1);
+      });
+  ASSERT_GT(res.iterations, 1u);
+  EXPECT_GT(res.chunks_skipped, 0u);
+  // Total bytes staged is less than iterations * input size.
+  EXPECT_LT(res.bytes_staged, res.iterations * input.size());
+}
+
+// Invariant 6: combining terminates in roughly ceil(table/heap)+1 iterations.
+TEST(SepoDriverCombining, IterationCountIsBounded) {
+  const std::string input = make_input(30000, 30000, 0.0, 3);
+  const RecordIndex idx = index_lines(input);
+  DriverRig d(192u << 10, Organization::kCombining, 2u << 10);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  const DriverResult res = driver.run(
+      *d.ht, *d.pipe, input, idx, progress,
+      [&](std::size_t, std::string_view body) {
+        return d.ht->insert_u64(body, 1);
+      });
+  const auto ts = d.ht->table_stats();
+  const double heap_bytes =
+      static_cast<double>(d.ht->page_pool().heap_bytes());
+  const auto bound = static_cast<std::uint32_t>(
+      static_cast<double>(ts.table_bytes) / heap_bytes + 3.0);
+  EXPECT_LE(res.iterations, bound);
+}
+
+}  // namespace
+}  // namespace sepo::core

@@ -1,0 +1,223 @@
+// Tests for the SEPO lookup engine (core/sepo_lookup.hpp): phase-2 lookups
+// on a host-resident table larger than device memory, answered by staging
+// bucket segments and postponing queries for non-resident portions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+#include "common/random.hpp"
+#include "core/sepo_driver.hpp"
+#include "core/sepo_lookup.hpp"
+#include "test_util.hpp"
+
+namespace sepo::core {
+namespace {
+
+using test::Rig;
+
+// Populates a combining table (via the SEPO insert path) and returns it.
+struct PopulatedTable {
+  PopulatedTable(std::size_t device_bytes, std::size_t n_keys,
+                 std::uint64_t seed)
+      : rig(device_bytes) {
+    bigkernel::PipelineConfig pcfg;
+    pcfg.records_per_chunk = 512;
+    pcfg.max_chunk_bytes = 32u << 10;
+    pcfg.num_staging_buffers = 2;
+    pipe = std::make_unique<bigkernel::InputPipeline>(rig.dev, rig.pool,
+                                                      rig.stats, pcfg);
+    HashTableConfig cfg;
+    cfg.num_buckets = 1u << 10;
+    cfg.buckets_per_group = 128;
+    cfg.page_size = 2u << 10;
+    cfg.combiner = combine_sum_u64;
+    ht = std::make_unique<SepoHashTable>(rig.dev, rig.pool, rig.stats, cfg);
+
+    Rng rng(seed);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < 4 * n_keys; ++i) {
+      const std::uint64_t k = rng.below(n_keys);
+      os << "key-" << k << '\n';
+      ref["key-" + std::to_string(k)] += 1;
+    }
+    input = os.str();
+    const RecordIndex idx = index_lines(input);
+    ProgressTracker progress(idx.size());
+    SepoDriver driver;
+    iterations = driver
+                     .run(*ht, *pipe, input, idx, progress,
+                          [&](std::size_t, std::string_view body) {
+                            return ht->insert_u64(body, 1);
+                          })
+                     .iterations;
+    table = std::make_unique<HostTable>(ht->finalize());
+  }
+
+  Rig rig;
+  std::unique_ptr<bigkernel::InputPipeline> pipe;
+  std::unique_ptr<SepoHashTable> ht;
+  std::unique_ptr<HostTable> table;
+  std::unordered_map<std::string, std::uint64_t> ref;
+  std::string input;
+  std::uint32_t iterations = 0;
+};
+
+TEST(SepoLookupTest, AnswersEveryQueryCorrectly) {
+  PopulatedTable pt(448u << 10, /*n_keys=*/12000, 1);
+  ASSERT_GT(pt.iterations, 1u);  // the table genuinely exceeded the device
+
+  // Lookups run on a fresh, smaller device — the table must not fit.
+  Rig rig(64u << 10);
+  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  ASSERT_GT(engine.segment_count(), 1u)
+      << "table must span multiple segments for this test";
+
+  std::vector<std::string> queries;
+  Rng rng(2);
+  for (int i = 0; i < 3000; ++i)
+    queries.push_back("key-" + std::to_string(rng.below(16000)));  // some miss
+  std::vector<std::optional<std::vector<std::byte>>> out;
+  const LookupBatchResult res = engine.lookup_values(queries, out);
+
+  ASSERT_EQ(out.size(), queries.size());
+  std::uint64_t found = 0, missing = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto it = pt.ref.find(queries[i]);
+    if (it == pt.ref.end()) {
+      EXPECT_FALSE(out[i].has_value()) << queries[i];
+      ++missing;
+    } else {
+      ASSERT_TRUE(out[i].has_value()) << queries[i];
+      std::uint64_t v = 0;
+      std::memcpy(&v, out[i]->data(), 8);
+      EXPECT_EQ(v, it->second) << queries[i];
+      ++found;
+    }
+  }
+  EXPECT_EQ(res.found, found);
+  EXPECT_EQ(res.missing, missing);
+  EXPECT_GT(res.iterations, 1u);  // several segments had pending queries
+}
+
+TEST(SepoLookupTest, PostponesQueriesForNonResidentSegments) {
+  PopulatedTable pt(448u << 10, 12000, 3);
+  Rig rig(96u << 10);
+  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  std::vector<std::string> queries{"key-1", "key-2", "key-3", "key-4"};
+  std::vector<std::optional<std::vector<std::byte>>> out;
+  (void)engine.lookup_values(queries, out);
+  // With >1 segments and queries spread by hash, some executions were
+  // declined because the portion was not resident.
+  EXPECT_GT(rig.stats.snapshot().records_postponed, 0u);
+}
+
+TEST(SepoLookupTest, SegmentsWithoutQueriesAreSkipped) {
+  PopulatedTable pt(448u << 10, 12000, 4);
+  Rig rig(64u << 10);
+  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  ASSERT_GT(engine.segment_count(), 2u);
+  // One query -> exactly one segment is relevant; the rest must be skipped
+  // without staging.
+  std::vector<std::string> queries{"key-42"};
+  std::vector<std::optional<std::vector<std::byte>>> out;
+  const LookupBatchResult res = engine.lookup_values(queries, out);
+  EXPECT_EQ(res.iterations, 1u);  // exactly one segment was staged
+  // Earlier segments are skipped without staging; once the query is
+  // answered the batch stops early, so later ones are never visited.
+  EXPECT_LE(res.segments_skipped, res.segments - 1);
+  EXPECT_LT(res.staged_bytes, engine.serialized_bytes());
+}
+
+TEST(SepoLookupTest, StagingIsMeteredAsBulkTransfers) {
+  PopulatedTable pt(512u << 10, 4000, 5);
+  Rig rig(128u << 10);
+  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 500; ++i) queries.push_back("key-" + std::to_string(i));
+  std::vector<std::optional<std::vector<std::byte>>> out;
+  const LookupBatchResult res = engine.lookup_values(queries, out);
+  const auto p = rig.dev.bus().snapshot();
+  EXPECT_EQ(p.h2d_bytes, res.staged_bytes);
+  EXPECT_EQ(p.h2d_txns, res.iterations);  // one bulky DMA per staged segment
+  EXPECT_EQ(p.remote_txns, 0u);           // never touches host memory remotely
+}
+
+TEST(SepoLookupTest, GroupLookupsOnMultiValuedTable) {
+  Rig rig(1u << 20);
+  bigkernel::PipelineConfig pcfg;
+  pcfg.records_per_chunk = 256;
+  pcfg.max_chunk_bytes = 16u << 10;
+  pcfg.num_staging_buffers = 2;
+  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  HashTableConfig cfg;
+  cfg.org = Organization::kMultiValued;
+  cfg.num_buckets = 1u << 9;
+  cfg.buckets_per_group = 64;
+  cfg.page_size = 2u << 10;
+  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+
+  std::ostringstream os;
+  std::map<std::string, std::multiset<std::string>> ref;
+  for (int i = 0; i < 4000; ++i) {
+    const std::string k = "grp-" + std::to_string(i % 300);
+    const std::string v = "val-" + std::to_string(i);
+    os << k << ' ' << v << '\n';
+    ref[k].insert(v);
+  }
+  const std::string input = os.str();
+  const RecordIndex idx = index_lines(input);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  (void)driver.run(ht, pipe, input, idx, progress,
+                   [&](std::size_t, std::string_view body) {
+                     const auto sp = body.find(' ');
+                     return ht.insert(
+                         body.substr(0, sp),
+                         std::as_bytes(std::span{body.data() + sp + 1,
+                                                 body.size() - sp - 1}));
+                   });
+  const HostTable table = ht.finalize();
+
+  Rig lrig(64u << 10);
+  SepoLookupEngine engine(lrig.dev, lrig.pool, lrig.stats, table);
+  std::vector<std::string> queries{"grp-0", "grp-299", "grp-77", "absent"};
+  std::vector<std::optional<std::vector<std::vector<std::byte>>>> out;
+  const LookupBatchResult res = engine.lookup_groups(queries, out);
+  EXPECT_EQ(res.found, 3u);
+  EXPECT_EQ(res.missing, 1u);
+  for (int q = 0; q < 3; ++q) {
+    ASSERT_TRUE(out[q].has_value()) << queries[q];
+    std::multiset<std::string> got;
+    for (const auto& v : *out[q])
+      got.insert(std::string(reinterpret_cast<const char*>(v.data()),
+                             v.size()));
+    EXPECT_EQ(got, ref[queries[q]]) << queries[q];
+  }
+  EXPECT_FALSE(out[3].has_value());
+}
+
+TEST(SepoLookupTest, WrongOrganizationRejected) {
+  PopulatedTable pt(512u << 10, 100, 6);
+  Rig rig(64u << 10);
+  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  std::vector<std::string> queries{"key-1"};
+  std::vector<std::optional<std::vector<std::vector<std::byte>>>> out;
+  EXPECT_THROW((void)engine.lookup_groups(queries, out), std::logic_error);
+}
+
+TEST(SepoLookupTest, EmptyQueryBatch) {
+  PopulatedTable pt(512u << 10, 100, 7);
+  Rig rig(64u << 10);
+  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  std::vector<std::string> queries;
+  std::vector<std::optional<std::vector<std::byte>>> out;
+  const LookupBatchResult res = engine.lookup_values(queries, out);
+  EXPECT_EQ(res.iterations, 0u);
+  EXPECT_EQ(res.found + res.missing, 0u);
+}
+
+}  // namespace
+}  // namespace sepo::core

@@ -1,0 +1,118 @@
+// Shape-regression tests: assert the *qualitative* paper results the benches
+// demonstrate, on small inputs, so a refactor that silently destroys a
+// paper-shape property fails CI rather than only being visible by reading
+// bench output. (EXPERIMENTS.md documents the quantitative versions.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "apps/mr_apps.hpp"
+#include "apps/standalone_app.hpp"
+#include "baselines/mapcg.hpp"
+
+namespace sepo::apps {
+namespace {
+
+constexpr std::size_t kInput = 1u << 20;  // 1 MiB keeps this suite fast
+
+TEST(ShapeRegression, PvcGpuBeatsCpu) {
+  PageViewCountApp app;
+  const std::string input = app.generate(kInput, 71);
+  const RunResult gpu = app.run_gpu(input);
+  const RunResult cpu = app.run_cpu(input);
+  EXPECT_GT(cpu.sim_seconds / gpu.sim_seconds, 2.0);  // paper ~3.5
+}
+
+TEST(ShapeRegression, InvertedIndexGpuDoesNotBeatCpu) {
+  // §VI-B: II's divergent parser keeps the GPU at or below the CPU.
+  InvertedIndexApp app;
+  const std::string input = app.generate(2 * kInput, 72);
+  const RunResult gpu = app.run_gpu(input);
+  const RunResult cpu = app.run_cpu(input);
+  EXPECT_LT(cpu.sim_seconds / gpu.sim_seconds, 1.5);
+}
+
+TEST(ShapeRegression, WordCountIsTheWeakestMapReduceApp) {
+  // §VI-B: Word Count's hot-word lock contention caps its speedup below the
+  // other MapReduce apps'.
+  const std::string wc_in = word_count_app().generate(2 * kInput, 73);
+  const std::string pc_in = patent_citation_app().generate(2 * kInput, 73);
+  const double wc_speedup =
+      run_mr_phoenix(word_count_app(), wc_in).sim_seconds /
+      run_mr_sepo(word_count_app(), wc_in).sim_seconds;
+  const double pc_speedup =
+      run_mr_phoenix(patent_citation_app(), pc_in).sim_seconds /
+      run_mr_sepo(patent_citation_app(), pc_in).sim_seconds;
+  EXPECT_LT(wc_speedup, pc_speedup);
+}
+
+TEST(ShapeRegression, PinnedIsSlowerThanSepo) {
+  // Figure 7: the pinned-in-CPU-memory table loses to SEPO badly.
+  PageViewCountApp app;
+  const std::string input = app.generate(kInput, 74);
+  const RunResult gpu = app.run_gpu(input);
+  const RunResult pin = app.run_pinned(input);
+  EXPECT_GT(pin.sim_seconds, 2.0 * gpu.sim_seconds);
+  EXPECT_EQ(pin.checksum, gpu.checksum);
+}
+
+TEST(ShapeRegression, SepoDegradesGracefullyWithShrinkingHeap) {
+  // Table III's last column: halving the heap must not double the time.
+  PageViewCountApp app;
+  const std::string input = app.generate(4 * kInput, 75);
+  GpuConfig big, small;
+  big.device_bytes = 16u << 20;
+  small.device_bytes = 16u << 20;
+  big.heap_bytes = 8u << 20;
+  small.heap_bytes = 2u << 20;
+  const RunResult rb = app.run_gpu(input, big);
+  const RunResult rs = app.run_gpu(input, small);
+  EXPECT_EQ(rb.iterations, 1u);
+  EXPECT_GT(rs.iterations, rb.iterations);
+  EXPECT_LT(rs.sim_seconds, 2.0 * rb.sim_seconds);
+  EXPECT_EQ(rs.checksum, rb.checksum);
+}
+
+TEST(ShapeRegression, MapCgFailsWhereSepoSucceeds) {
+  // Table II's bottom half: no SEPO -> hard failure past device memory.
+  const auto& wc = word_count_app();
+  const std::string input = wc.generate(3u << 20, 76);
+  GpuConfig cfg;  // 4 MiB device
+  EXPECT_THROW((void)run_mr_mapcg(wc, input, cfg),
+               baselines::MapCgOutOfMemory);
+  const RunResult ours = run_mr_sepo(wc, input, cfg);
+  EXPECT_GE(ours.iterations, 1u);
+}
+
+TEST(ShapeRegression, CombiningUsesLessMemoryThanBasic) {
+  // Figure 4: combining's table is a fraction of basic's on duplicate-heavy
+  // data.
+  PageViewCountApp pvc;  // combining
+  // Duplicate-heavy log: the organizations' footprints diverge on repeats.
+  const std::string input =
+      gen_weblog({.target_bytes = kInput, .seed = 77}, /*distinct_urls=*/2000,
+                 /*zipf_s=*/1.0);
+  const RunResult combining = pvc.run_gpu(input);
+
+  class BasicPvc final : public StandaloneApp {
+   public:
+    const char* name() const noexcept override { return "basic-pvc"; }
+    const char* table1_key() const noexcept override { return "pvc"; }
+    core::Organization organization() const noexcept override {
+      return core::Organization::kBasic;
+    }
+    std::string generate(std::size_t bytes, std::uint64_t seed) const override {
+      return gen_weblog({.target_bytes = bytes, .seed = seed});
+    }
+    void map_record(std::string_view body,
+                    mapreduce::Emitter& em) const override {
+      PageViewCountApp{}.map_record(body, em);
+    }
+  } basic;
+  const RunResult raw = basic.run_gpu(input);
+  EXPECT_LT(combining.table_bytes * 2, raw.table_bytes);
+}
+
+}  // namespace
+}  // namespace sepo::apps

@@ -1,0 +1,189 @@
+// Tests for HostTableBuilder and snapshot save/load (core/table_io.hpp),
+// including the round-trip through the SEPO lookup engine.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/random.hpp"
+#include "core/sepo_lookup.hpp"
+#include "core/table_io.hpp"
+#include "test_util.hpp"
+
+namespace sepo::core {
+namespace {
+
+using test::Rig;
+using test::as_u64;
+
+TEST(HostTableBuilderTest, CombiningMergesEagerly) {
+  HostTableBuilder b(Organization::kCombining, 256, 1u << 10,
+                     combine_sum_u64);
+  b.add_u64("x", 1);
+  b.add_u64("x", 2);
+  b.add_u64("y", 5);
+  EXPECT_EQ(b.entry_count(), 2u);
+  const HostTable t = b.build();
+  EXPECT_EQ(t.lookup_u64("x"), 3u);
+  EXPECT_EQ(t.lookup_u64("y"), 5u);
+  EXPECT_EQ(t.entry_count(), 2u);
+}
+
+TEST(HostTableBuilderTest, BasicKeepsDuplicates) {
+  HostTableBuilder b(Organization::kBasic, 64);
+  b.add_u64("d", 1);
+  b.add_u64("d", 2);
+  const HostTable t = b.build();
+  EXPECT_EQ(t.lookup_all("d").size(), 2u);
+}
+
+TEST(HostTableBuilderTest, MultiValuedGroups) {
+  HostTableBuilder b(Organization::kMultiValued, 64);
+  auto add = [&](std::string_view k, std::string_view v) {
+    b.add(k, std::as_bytes(std::span{v.data(), v.size()}));
+  };
+  add("k", "v1");
+  add("k", "v2");
+  add("j", "v3");
+  const HostTable t = b.build();
+  EXPECT_EQ(t.entry_count(), 2u);
+  EXPECT_EQ(t.value_count(), 3u);
+  EXPECT_EQ(t.lookup_group("k")->size(), 2u);
+}
+
+TEST(HostTableBuilderTest, SpillsAcrossManyPages) {
+  HostTableBuilder b(Organization::kCombining, 1u << 10, /*page=*/512,
+                     combine_sum_u64);
+  std::unordered_map<std::string, std::uint64_t> ref;
+  Rng rng(4);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string k = "key-" + std::to_string(rng.below(5000));
+    b.add_u64(k, i);
+    ref[k] += static_cast<std::uint64_t>(i);
+  }
+  const HostTable t = b.build();
+  ASSERT_EQ(t.entry_count(), ref.size());
+  t.for_each([&](std::string_view k, std::span<const std::byte> v) {
+    ASSERT_EQ(as_u64(v), ref.at(std::string(k))) << k;
+  });
+}
+
+TEST(HostTableBuilderTest, RejectsOversizedEntry) {
+  HostTableBuilder b(Organization::kBasic, 64, /*page=*/256);
+  const std::string big(500, 'x');
+  EXPECT_THROW(b.add_u64(big, 1), std::invalid_argument);
+}
+
+TEST(HostTableBuilderTest, BuildIsSingleShot) {
+  HostTableBuilder b(Organization::kBasic, 64);
+  b.add_u64("a", 1);
+  (void)b.build();
+  EXPECT_THROW((void)b.build(), std::logic_error);
+  EXPECT_THROW(b.add_u64("b", 2), std::logic_error);
+}
+
+TEST(SnapshotTest, KvRoundTrip) {
+  HostTableBuilder b(Organization::kCombining, 512, 2u << 10,
+                     combine_sum_u64);
+  std::unordered_map<std::string, std::uint64_t> ref;
+  Rng rng(9);
+  for (int i = 0; i < 5000; ++i) {
+    const std::string k = "url-" + std::to_string(rng.below(800));
+    b.add_u64(k, 1);
+    ref[k] += 1;
+  }
+  const HostTable original = b.build();
+
+  std::stringstream ss;
+  save_snapshot(original, ss);
+  const LoadedTable loaded = load_snapshot(ss);
+
+  ASSERT_EQ(loaded.table->entry_count(), ref.size());
+  loaded.table->for_each([&](std::string_view k, std::span<const std::byte> v) {
+    ASSERT_EQ(as_u64(v), ref.at(std::string(k))) << k;
+  });
+  EXPECT_EQ(loaded.table->organization(), Organization::kCombining);
+  EXPECT_EQ(loaded.table->bucket_count(), original.bucket_count());
+}
+
+TEST(SnapshotTest, GroupRoundTrip) {
+  HostTableBuilder b(Organization::kMultiValued, 128);
+  std::map<std::string, std::multiset<std::string>> ref;
+  for (int i = 0; i < 2000; ++i) {
+    const std::string k = "g" + std::to_string(i % 70);
+    const std::string v = "v" + std::to_string(i);
+    b.add(k, std::as_bytes(std::span{v.data(), v.size()}));
+    ref[k].insert(v);
+  }
+  std::stringstream ss;
+  save_snapshot(b.build(), ss);
+  const LoadedTable loaded = load_snapshot(ss);
+  std::size_t groups = 0;
+  loaded.table->for_each_group(
+      [&](std::string_view k,
+          const std::vector<std::span<const std::byte>>& vals) {
+        ++groups;
+        std::multiset<std::string> got;
+        for (const auto& v : vals) got.insert(test::bytes_to_string(v));
+        EXPECT_EQ(got, ref.at(std::string(k))) << k;
+      });
+  EXPECT_EQ(groups, ref.size());
+}
+
+TEST(SnapshotTest, BinaryKeysAndValuesSurvive) {
+  HostTableBuilder b(Organization::kBasic, 64);
+  const std::string k("\0key\xff", 5);
+  const std::string v("\xde\0\xad", 3);
+  b.add(k, std::as_bytes(std::span{v.data(), v.size()}));
+  std::stringstream ss;
+  save_snapshot(b.build(), ss);
+  const LoadedTable loaded = load_snapshot(ss);
+  const auto got = loaded.table->lookup(k);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(test::bytes_to_string(*got), v);
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  std::stringstream ss("not a snapshot at all");
+  EXPECT_THROW((void)load_snapshot(ss), std::runtime_error);
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  HostTableBuilder b(Organization::kCombining, 64, 8u << 10,
+                     combine_sum_u64);
+  b.add_u64("k", 1);
+  std::stringstream ss;
+  save_snapshot(b.build(), ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)load_snapshot(truncated), std::runtime_error);
+}
+
+TEST(SnapshotTest, LoadedTableWorksWithLookupEngine) {
+  // Persist a table, reload it, and query it through the SEPO lookup
+  // engine on a small device — the end-to-end phase-2 story.
+  HostTableBuilder b(Organization::kCombining, 1u << 10, 2u << 10,
+                     combine_sum_u64);
+  for (int i = 0; i < 20000; ++i)
+    b.add_u64("key-" + std::to_string(i % 9000), 1);
+  std::stringstream ss;
+  save_snapshot(b.build(), ss);
+  const LoadedTable loaded = load_snapshot(ss);
+
+  Rig rig(96u << 10);
+  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *loaded.table);
+  EXPECT_GT(engine.segment_count(), 1u);
+  std::vector<std::string> queries{"key-0", "key-8999", "key-9000"};
+  std::vector<std::optional<std::vector<std::byte>>> out;
+  const LookupBatchResult res = engine.lookup_values(queries, out);
+  EXPECT_EQ(res.found, 2u);
+  EXPECT_EQ(res.missing, 1u);
+  std::uint64_t v = 0;
+  std::memcpy(&v, out[0]->data(), 8);
+  EXPECT_EQ(v, 20000u / 9000 + (0 < 20000 % 9000 ? 1 : 0));
+}
+
+}  // namespace
+}  // namespace sepo::core

@@ -1,0 +1,42 @@
+// Shared fixtures/helpers for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace sepo::test {
+
+// A bundled virtual device + pool + stats with a configurable capacity.
+struct Rig {
+  explicit Rig(std::size_t device_bytes, std::size_t workers = 0)
+      : dev(device_bytes), pool(workers) {}
+
+  gpusim::Device dev;
+  gpusim::ThreadPool pool;
+  gpusim::RunStats stats;
+};
+
+inline std::span<const std::byte> bytes_of(const std::uint64_t& v) {
+  return std::as_bytes(std::span{&v, 1});
+}
+
+inline std::string bytes_to_string(std::span<const std::byte> b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+inline std::uint64_t as_u64(std::span<const std::byte> b) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data(), std::min<std::size_t>(8, b.size()));
+  return v;
+}
+
+}  // namespace sepo::test

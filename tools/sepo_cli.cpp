@@ -1,0 +1,304 @@
+// sepo_cli — command-line driver for the reproduction.
+//
+// Runs any of the seven applications on any implementation with generated
+// data, and prints the measured run (stats, simulated time, digest).
+//
+//   sepo_cli list
+//   sepo_cli run --app pvc --impl gpu --dataset 4
+//   sepo_cli run --app wc --impl phoenix --bytes 2097152 --seed 7
+//   sepo_cli run --app netflix --impl gpu --device-kb 2048 --csv
+//   sepo_cli compare --app dna --dataset 2        # gpu vs cpu, digests
+//
+// Exit status: 0 on success, 1 on usage error, 2 on run failure (e.g. MapCG
+// out of device memory).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "apps/datagen.hpp"
+#include "apps/mr_apps.hpp"
+#include "apps/standalone_app.hpp"
+#include "baselines/mapcg.hpp"
+#include "common/table_printer.hpp"
+
+using namespace sepo;
+using namespace sepo::apps;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string app;
+  std::string impl = "gpu";
+  int dataset = 2;
+  std::size_t bytes = 0;  // overrides dataset when nonzero
+  std::uint64_t seed = 42;
+  std::size_t device_kb = 4096;
+  std::uint32_t threads = 8;
+  bool csv = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sepo_cli <command> [options]\n"
+               "commands:\n"
+               "  list                       list applications and implementations\n"
+               "  run --app A --impl I       run one application\n"
+               "  compare --app A            run gpu vs cpu baseline, verify digests\n"
+               "options:\n"
+               "  --app A          pvc | ii | dna | netflix | wc | pc | geo\n"
+               "  --impl I         gpu | cpu | pinned   (standalone apps)\n"
+               "                   gpu | phoenix | mapcg (MapReduce apps)\n"
+               "  --dataset 1..4   paper Table I size, scaled 1:1000 (default 2)\n"
+               "  --bytes N        explicit input size, overrides --dataset\n"
+               "  --seed S         generator seed (default 42)\n"
+               "  --device-kb N    simulated device memory (default 4096)\n"
+               "  --threads N      CPU baseline threads (default 8)\n"
+               "  --csv            machine-readable output\n");
+}
+
+bool is_mr_app(const std::string& app) {
+  return app == "wc" || app == "pc" || app == "geo";
+}
+
+const MrApp* mr_app(const std::string& app) {
+  if (app == "wc") return &word_count_app();
+  if (app == "pc") return &patent_citation_app();
+  if (app == "geo") return &geo_location_app();
+  return nullptr;
+}
+
+std::unique_ptr<StandaloneApp> standalone_app(const std::string& app) {
+  if (app == "pvc") return std::make_unique<PageViewCountApp>();
+  if (app == "ii") return std::make_unique<InvertedIndexApp>();
+  if (app == "dna") return std::make_unique<DnaAssemblyApp>();
+  if (app == "netflix") return std::make_unique<NetflixApp>();
+  return nullptr;
+}
+
+std::optional<Options> parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options o;
+  o.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (a == "--app") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.app = v;
+    } else if (a == "--impl") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.impl = v;
+    } else if (a == "--dataset") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.dataset = std::atoi(v);
+    } else if (a == "--bytes") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.bytes = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--device-kb") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.device_kb = static_cast<std::size_t>(std::atoll(v));
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      o.threads = static_cast<std::uint32_t>(std::atoi(v));
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return std::nullopt;
+    }
+  }
+  return o;
+}
+
+void print_result(const Options& o, const RunResult& r) {
+  if (o.csv) {
+    std::printf("app,impl,iterations,keys,table_bytes,heap_bytes,sim_ms,"
+                "wall_ms,checksum\n");
+    std::printf("%s,%s,%u,%llu,%llu,%llu,%.6f,%.3f,%016llx\n", o.app.c_str(),
+                r.impl.c_str(), r.iterations,
+                static_cast<unsigned long long>(r.keys),
+                static_cast<unsigned long long>(r.table_bytes),
+                static_cast<unsigned long long>(r.heap_bytes),
+                r.sim_seconds * 1e3, r.wall_seconds * 1e3,
+                static_cast<unsigned long long>(r.checksum));
+    return;
+  }
+  std::printf("app            : %s (%s)\n", o.app.c_str(), r.impl.c_str());
+  std::printf("iterations     : %u\n", r.iterations);
+  std::printf("distinct keys  : %llu\n", static_cast<unsigned long long>(r.keys));
+  if (r.table_bytes)
+    std::printf("table size     : %s\n",
+                TablePrinter::fmt_bytes(r.table_bytes).c_str());
+  if (r.heap_bytes)
+    std::printf("device heap    : %s (table/heap = %.2f)\n",
+                TablePrinter::fmt_bytes(r.heap_bytes).c_str(),
+                static_cast<double>(r.table_bytes) /
+                    static_cast<double>(r.heap_bytes));
+  std::printf("records        : %llu processed, %llu postponed executions\n",
+              static_cast<unsigned long long>(r.stats.records_processed),
+              static_cast<unsigned long long>(r.stats.records_postponed));
+  std::printf("hash ops       : %llu (%llu new entries, %llu combines, "
+              "%llu value appends)\n",
+              static_cast<unsigned long long>(r.stats.hash_ops),
+              static_cast<unsigned long long>(r.stats.inserts_new),
+              static_cast<unsigned long long>(r.stats.combines),
+              static_cast<unsigned long long>(r.stats.value_appends));
+  std::printf("bus            : h2d %s in %llu txns, d2h %s, remote %s in "
+              "%llu txns\n",
+              TablePrinter::fmt_bytes(r.pcie.h2d_bytes).c_str(),
+              static_cast<unsigned long long>(r.pcie.h2d_txns),
+              TablePrinter::fmt_bytes(r.pcie.d2h_bytes).c_str(),
+              TablePrinter::fmt_bytes(r.pcie.remote_bytes).c_str(),
+              static_cast<unsigned long long>(r.pcie.remote_txns));
+  std::printf("simulated time : %.3f ms\n", r.sim_seconds * 1e3);
+  std::printf("wall clock     : %.1f ms (host; informational)\n",
+              r.wall_seconds * 1e3);
+  std::printf("result digest  : %016llx\n",
+              static_cast<unsigned long long>(r.checksum));
+}
+
+int cmd_list() {
+  std::printf("standalone applications (impls: gpu, cpu, pinned):\n");
+  std::printf("  pvc      Page View Count       combining\n");
+  std::printf("  ii       Inverted Index        multi-valued\n");
+  std::printf("  dna      DNA Assembly          combining\n");
+  std::printf("  netflix  Netflix similarity    combining\n");
+  std::printf("MapReduce applications (impls: gpu, phoenix, mapcg):\n");
+  std::printf("  wc       Word Count            MAP_REDUCE\n");
+  std::printf("  pc       Patent Citation       MAP_GROUP\n");
+  std::printf("  geo      Geo Location          MAP_GROUP\n");
+  return 0;
+}
+
+int cmd_run(const Options& o) {
+  const char* key = is_mr_app(o.app) ? mr_app(o.app)->table1_key
+                    : standalone_app(o.app) ? standalone_app(o.app)->table1_key()
+                                            : nullptr;
+  if (!key) {
+    std::fprintf(stderr, "unknown app: %s\n", o.app.c_str());
+    return 1;
+  }
+  const std::size_t bytes = o.bytes ? o.bytes : table1_bytes(key, o.dataset);
+
+  GpuConfig gcfg;
+  gcfg.device_bytes = o.device_kb << 10;
+  CpuConfig ccfg;
+  ccfg.num_threads = o.threads;
+
+  try {
+    if (is_mr_app(o.app)) {
+      const MrApp& app = *mr_app(o.app);
+      std::fprintf(stderr, "generating %s of input...\n",
+                   TablePrinter::fmt_bytes(bytes).c_str());
+      const std::string input = app.generate(bytes, o.seed);
+      RunResult r;
+      if (o.impl == "gpu")
+        r = run_mr_sepo(app, input, gcfg);
+      else if (o.impl == "phoenix")
+        r = run_mr_phoenix(app, input, ccfg);
+      else if (o.impl == "mapcg")
+        r = run_mr_mapcg(app, input, gcfg);
+      else {
+        std::fprintf(stderr, "impl %s not available for MapReduce apps\n",
+                     o.impl.c_str());
+        return 1;
+      }
+      print_result(o, r);
+    } else {
+      const auto app = standalone_app(o.app);
+      std::fprintf(stderr, "generating %s of input...\n",
+                   TablePrinter::fmt_bytes(bytes).c_str());
+      const std::string input = app->generate(bytes, o.seed);
+      RunResult r;
+      if (o.impl == "gpu")
+        r = app->run_gpu(input, gcfg);
+      else if (o.impl == "cpu")
+        r = app->run_cpu(input, ccfg);
+      else if (o.impl == "pinned")
+        r = app->run_pinned(input, gcfg);
+      else {
+        std::fprintf(stderr, "impl %s not available for standalone apps\n",
+                     o.impl.c_str());
+        return 1;
+      }
+      print_result(o, r);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_compare(const Options& o) {
+  Options a = o, b = o;
+  a.impl = "gpu";
+  b.impl = is_mr_app(o.app) ? "phoenix" : "cpu";
+  std::printf("== %s: gpu vs %s ==\n", o.app.c_str(), b.impl.c_str());
+  const char* key = is_mr_app(o.app)
+                        ? mr_app(o.app)->table1_key
+                        : standalone_app(o.app)->table1_key();
+  const std::size_t bytes = o.bytes ? o.bytes : table1_bytes(key, o.dataset);
+  try {
+    RunResult ra, rb;
+    if (is_mr_app(o.app)) {
+      const MrApp& app = *mr_app(o.app);
+      const std::string input = app.generate(bytes, o.seed);
+      GpuConfig gcfg;
+      gcfg.device_bytes = o.device_kb << 10;
+      ra = run_mr_sepo(app, input, gcfg);
+      rb = run_mr_phoenix(app, input, {.num_threads = o.threads});
+    } else {
+      const auto app = standalone_app(o.app);
+      const std::string input = app->generate(bytes, o.seed);
+      GpuConfig gcfg;
+      gcfg.device_bytes = o.device_kb << 10;
+      ra = app->run_gpu(input, gcfg);
+      rb = app->run_cpu(input, {.num_threads = o.threads});
+    }
+    std::printf("gpu   : %.3f ms, %u iteration(s)\n", ra.sim_seconds * 1e3,
+                ra.iterations);
+    std::printf("%s : %.3f ms\n", rb.impl.c_str(), rb.sim_seconds * 1e3);
+    std::printf("speedup: %.2fx\n", rb.sim_seconds / ra.sim_seconds);
+    std::printf("digests: %s\n",
+                ra.checksum == rb.checksum ? "MATCH" : "MISMATCH");
+    return ra.checksum == rb.checksum ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse(argc, argv);
+  if (!opts) {
+    usage();
+    return 1;
+  }
+  if (opts->command == "list") return cmd_list();
+  if (opts->command == "run") return cmd_run(*opts);
+  if (opts->command == "compare") return cmd_compare(*opts);
+  usage();
+  return 1;
+}

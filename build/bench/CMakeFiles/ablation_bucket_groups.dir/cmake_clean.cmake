@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bucket_groups.dir/ablation_bucket_groups.cpp.o"
+  "CMakeFiles/ablation_bucket_groups.dir/ablation_bucket_groups.cpp.o.d"
+  "ablation_bucket_groups"
+  "ablation_bucket_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bucket_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

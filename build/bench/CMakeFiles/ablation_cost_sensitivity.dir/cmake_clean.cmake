@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cost_sensitivity.dir/ablation_cost_sensitivity.cpp.o"
+  "CMakeFiles/ablation_cost_sensitivity.dir/ablation_cost_sensitivity.cpp.o.d"
+  "ablation_cost_sensitivity"
+  "ablation_cost_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cost_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

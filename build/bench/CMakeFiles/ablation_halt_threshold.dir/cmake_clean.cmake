@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_halt_threshold.dir/ablation_halt_threshold.cpp.o"
+  "CMakeFiles/ablation_halt_threshold.dir/ablation_halt_threshold.cpp.o.d"
+  "ablation_halt_threshold"
+  "ablation_halt_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_halt_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

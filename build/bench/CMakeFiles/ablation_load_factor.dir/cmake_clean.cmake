@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_factor.dir/ablation_load_factor.cpp.o"
+  "CMakeFiles/ablation_load_factor.dir/ablation_load_factor.cpp.o.d"
+  "ablation_load_factor"
+  "ablation_load_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

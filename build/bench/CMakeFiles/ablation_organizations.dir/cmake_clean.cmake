@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_organizations.dir/ablation_organizations.cpp.o"
+  "CMakeFiles/ablation_organizations.dir/ablation_organizations.cpp.o.d"
+  "ablation_organizations"
+  "ablation_organizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_organizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

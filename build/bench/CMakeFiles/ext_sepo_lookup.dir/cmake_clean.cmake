@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sepo_lookup.dir/ext_sepo_lookup.cpp.o"
+  "CMakeFiles/ext_sepo_lookup.dir/ext_sepo_lookup.cpp.o.d"
+  "ext_sepo_lookup"
+  "ext_sepo_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sepo_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

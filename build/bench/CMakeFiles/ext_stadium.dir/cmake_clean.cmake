@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_stadium.dir/ext_stadium.cpp.o"
+  "CMakeFiles/ext_stadium.dir/ext_stadium.cpp.o.d"
+  "ext_stadium"
+  "ext_stadium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_stadium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

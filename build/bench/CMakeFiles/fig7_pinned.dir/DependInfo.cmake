@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_pinned.cpp" "bench/CMakeFiles/fig7_pinned.dir/fig7_pinned.cpp.o" "gcc" "bench/CMakeFiles/fig7_pinned.dir/fig7_pinned.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sepo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sepo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sepo_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sepo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigkernel/CMakeFiles/sepo_bigkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sepo_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sepo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sepo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

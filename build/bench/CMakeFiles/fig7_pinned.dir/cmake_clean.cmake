@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pinned.dir/fig7_pinned.cpp.o"
+  "CMakeFiles/fig7_pinned.dir/fig7_pinned.cpp.o.d"
+  "fig7_pinned"
+  "fig7_pinned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pinned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

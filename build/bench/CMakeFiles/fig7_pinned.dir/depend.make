@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_pinned.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_hash_ops.dir/micro_hash_ops.cpp.o"
+  "CMakeFiles/micro_hash_ops.dir/micro_hash_ops.cpp.o.d"
+  "micro_hash_ops"
+  "micro_hash_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hash_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_mapcg.dir/table2_mapcg.cpp.o"
+  "CMakeFiles/table2_mapcg.dir/table2_mapcg.cpp.o.d"
+  "table2_mapcg"
+  "table2_mapcg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_mapcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

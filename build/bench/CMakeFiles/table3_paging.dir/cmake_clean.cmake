@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_paging.dir/table3_paging.cpp.o"
+  "CMakeFiles/table3_paging.dir/table3_paging.cpp.o.d"
+  "table3_paging"
+  "table3_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

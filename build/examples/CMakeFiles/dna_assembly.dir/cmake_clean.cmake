@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dna_assembly.dir/dna_assembly.cpp.o"
+  "CMakeFiles/dna_assembly.dir/dna_assembly.cpp.o.d"
+  "dna_assembly"
+  "dna_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dna_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

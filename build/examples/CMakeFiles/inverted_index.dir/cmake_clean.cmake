@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverted_index.dir/inverted_index.cpp.o"
+  "CMakeFiles/inverted_index.dir/inverted_index.cpp.o.d"
+  "inverted_index"
+  "inverted_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverted_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

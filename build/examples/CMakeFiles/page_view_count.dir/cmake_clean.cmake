@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/page_view_count.dir/page_view_count.cpp.o"
+  "CMakeFiles/page_view_count.dir/page_view_count.cpp.o.d"
+  "page_view_count"
+  "page_view_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/page_view_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

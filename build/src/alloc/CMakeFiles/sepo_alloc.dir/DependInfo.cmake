@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/bucket_group_allocator.cpp" "src/alloc/CMakeFiles/sepo_alloc.dir/bucket_group_allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/sepo_alloc.dir/bucket_group_allocator.cpp.o.d"
+  "/root/repo/src/alloc/host_heap.cpp" "src/alloc/CMakeFiles/sepo_alloc.dir/host_heap.cpp.o" "gcc" "src/alloc/CMakeFiles/sepo_alloc.dir/host_heap.cpp.o.d"
+  "/root/repo/src/alloc/page_pool.cpp" "src/alloc/CMakeFiles/sepo_alloc.dir/page_pool.cpp.o" "gcc" "src/alloc/CMakeFiles/sepo_alloc.dir/page_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/sepo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sepo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

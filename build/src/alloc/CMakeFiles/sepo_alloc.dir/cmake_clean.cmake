@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_alloc.dir/bucket_group_allocator.cpp.o"
+  "CMakeFiles/sepo_alloc.dir/bucket_group_allocator.cpp.o.d"
+  "CMakeFiles/sepo_alloc.dir/host_heap.cpp.o"
+  "CMakeFiles/sepo_alloc.dir/host_heap.cpp.o.d"
+  "CMakeFiles/sepo_alloc.dir/page_pool.cpp.o"
+  "CMakeFiles/sepo_alloc.dir/page_pool.cpp.o.d"
+  "libsepo_alloc.a"
+  "libsepo_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

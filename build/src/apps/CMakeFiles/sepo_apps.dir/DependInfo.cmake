@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/datagen.cpp" "src/apps/CMakeFiles/sepo_apps.dir/datagen.cpp.o" "gcc" "src/apps/CMakeFiles/sepo_apps.dir/datagen.cpp.o.d"
+  "/root/repo/src/apps/harness.cpp" "src/apps/CMakeFiles/sepo_apps.dir/harness.cpp.o" "gcc" "src/apps/CMakeFiles/sepo_apps.dir/harness.cpp.o.d"
+  "/root/repo/src/apps/mr_apps.cpp" "src/apps/CMakeFiles/sepo_apps.dir/mr_apps.cpp.o" "gcc" "src/apps/CMakeFiles/sepo_apps.dir/mr_apps.cpp.o.d"
+  "/root/repo/src/apps/standalone_app.cpp" "src/apps/CMakeFiles/sepo_apps.dir/standalone_app.cpp.o" "gcc" "src/apps/CMakeFiles/sepo_apps.dir/standalone_app.cpp.o.d"
+  "/root/repo/src/apps/standalone_parsers.cpp" "src/apps/CMakeFiles/sepo_apps.dir/standalone_parsers.cpp.o" "gcc" "src/apps/CMakeFiles/sepo_apps.dir/standalone_parsers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/sepo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sepo_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sepo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sepo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sepo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigkernel/CMakeFiles/sepo_bigkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sepo_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

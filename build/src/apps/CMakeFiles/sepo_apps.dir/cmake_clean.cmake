@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_apps.dir/datagen.cpp.o"
+  "CMakeFiles/sepo_apps.dir/datagen.cpp.o.d"
+  "CMakeFiles/sepo_apps.dir/harness.cpp.o"
+  "CMakeFiles/sepo_apps.dir/harness.cpp.o.d"
+  "CMakeFiles/sepo_apps.dir/mr_apps.cpp.o"
+  "CMakeFiles/sepo_apps.dir/mr_apps.cpp.o.d"
+  "CMakeFiles/sepo_apps.dir/standalone_app.cpp.o"
+  "CMakeFiles/sepo_apps.dir/standalone_app.cpp.o.d"
+  "CMakeFiles/sepo_apps.dir/standalone_parsers.cpp.o"
+  "CMakeFiles/sepo_apps.dir/standalone_parsers.cpp.o.d"
+  "libsepo_apps.a"
+  "libsepo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cpu_hash_table.cpp" "src/baselines/CMakeFiles/sepo_baselines.dir/cpu_hash_table.cpp.o" "gcc" "src/baselines/CMakeFiles/sepo_baselines.dir/cpu_hash_table.cpp.o.d"
+  "/root/repo/src/baselines/mapcg.cpp" "src/baselines/CMakeFiles/sepo_baselines.dir/mapcg.cpp.o" "gcc" "src/baselines/CMakeFiles/sepo_baselines.dir/mapcg.cpp.o.d"
+  "/root/repo/src/baselines/paging_sim.cpp" "src/baselines/CMakeFiles/sepo_baselines.dir/paging_sim.cpp.o" "gcc" "src/baselines/CMakeFiles/sepo_baselines.dir/paging_sim.cpp.o.d"
+  "/root/repo/src/baselines/phoenix.cpp" "src/baselines/CMakeFiles/sepo_baselines.dir/phoenix.cpp.o" "gcc" "src/baselines/CMakeFiles/sepo_baselines.dir/phoenix.cpp.o.d"
+  "/root/repo/src/baselines/pinned_hash_table.cpp" "src/baselines/CMakeFiles/sepo_baselines.dir/pinned_hash_table.cpp.o" "gcc" "src/baselines/CMakeFiles/sepo_baselines.dir/pinned_hash_table.cpp.o.d"
+  "/root/repo/src/baselines/stadium_hash_table.cpp" "src/baselines/CMakeFiles/sepo_baselines.dir/stadium_hash_table.cpp.o" "gcc" "src/baselines/CMakeFiles/sepo_baselines.dir/stadium_hash_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/sepo_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sepo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sepo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sepo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sepo_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigkernel/CMakeFiles/sepo_bigkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

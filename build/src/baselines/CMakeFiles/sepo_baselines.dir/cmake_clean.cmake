@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_baselines.dir/cpu_hash_table.cpp.o"
+  "CMakeFiles/sepo_baselines.dir/cpu_hash_table.cpp.o.d"
+  "CMakeFiles/sepo_baselines.dir/mapcg.cpp.o"
+  "CMakeFiles/sepo_baselines.dir/mapcg.cpp.o.d"
+  "CMakeFiles/sepo_baselines.dir/paging_sim.cpp.o"
+  "CMakeFiles/sepo_baselines.dir/paging_sim.cpp.o.d"
+  "CMakeFiles/sepo_baselines.dir/phoenix.cpp.o"
+  "CMakeFiles/sepo_baselines.dir/phoenix.cpp.o.d"
+  "CMakeFiles/sepo_baselines.dir/pinned_hash_table.cpp.o"
+  "CMakeFiles/sepo_baselines.dir/pinned_hash_table.cpp.o.d"
+  "CMakeFiles/sepo_baselines.dir/stadium_hash_table.cpp.o"
+  "CMakeFiles/sepo_baselines.dir/stadium_hash_table.cpp.o.d"
+  "libsepo_baselines.a"
+  "libsepo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_bigkernel.dir/pipeline.cpp.o"
+  "CMakeFiles/sepo_bigkernel.dir/pipeline.cpp.o.d"
+  "libsepo_bigkernel.a"
+  "libsepo_bigkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_bigkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

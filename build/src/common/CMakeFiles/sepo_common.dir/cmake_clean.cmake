@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_common.dir/strings.cpp.o"
+  "CMakeFiles/sepo_common.dir/strings.cpp.o.d"
+  "CMakeFiles/sepo_common.dir/table_printer.cpp.o"
+  "CMakeFiles/sepo_common.dir/table_printer.cpp.o.d"
+  "libsepo_common.a"
+  "libsepo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

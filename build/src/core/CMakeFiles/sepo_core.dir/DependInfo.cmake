@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/hash_table.cpp" "src/core/CMakeFiles/sepo_core.dir/hash_table.cpp.o" "gcc" "src/core/CMakeFiles/sepo_core.dir/hash_table.cpp.o.d"
+  "/root/repo/src/core/host_table.cpp" "src/core/CMakeFiles/sepo_core.dir/host_table.cpp.o" "gcc" "src/core/CMakeFiles/sepo_core.dir/host_table.cpp.o.d"
+  "/root/repo/src/core/sepo_driver.cpp" "src/core/CMakeFiles/sepo_core.dir/sepo_driver.cpp.o" "gcc" "src/core/CMakeFiles/sepo_core.dir/sepo_driver.cpp.o.d"
+  "/root/repo/src/core/sepo_lookup.cpp" "src/core/CMakeFiles/sepo_core.dir/sepo_lookup.cpp.o" "gcc" "src/core/CMakeFiles/sepo_core.dir/sepo_lookup.cpp.o.d"
+  "/root/repo/src/core/table_io.cpp" "src/core/CMakeFiles/sepo_core.dir/table_io.cpp.o" "gcc" "src/core/CMakeFiles/sepo_core.dir/table_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alloc/CMakeFiles/sepo_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigkernel/CMakeFiles/sepo_bigkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sepo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sepo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

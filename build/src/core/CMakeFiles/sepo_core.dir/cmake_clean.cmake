@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_core.dir/hash_table.cpp.o"
+  "CMakeFiles/sepo_core.dir/hash_table.cpp.o.d"
+  "CMakeFiles/sepo_core.dir/host_table.cpp.o"
+  "CMakeFiles/sepo_core.dir/host_table.cpp.o.d"
+  "CMakeFiles/sepo_core.dir/sepo_driver.cpp.o"
+  "CMakeFiles/sepo_core.dir/sepo_driver.cpp.o.d"
+  "CMakeFiles/sepo_core.dir/sepo_lookup.cpp.o"
+  "CMakeFiles/sepo_core.dir/sepo_lookup.cpp.o.d"
+  "CMakeFiles/sepo_core.dir/table_io.cpp.o"
+  "CMakeFiles/sepo_core.dir/table_io.cpp.o.d"
+  "libsepo_core.a"
+  "libsepo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

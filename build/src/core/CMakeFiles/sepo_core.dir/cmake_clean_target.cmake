@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsepo_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_gpusim.dir/cost_model.cpp.o"
+  "CMakeFiles/sepo_gpusim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sepo_gpusim.dir/launch.cpp.o"
+  "CMakeFiles/sepo_gpusim.dir/launch.cpp.o.d"
+  "CMakeFiles/sepo_gpusim.dir/thread_pool.cpp.o"
+  "CMakeFiles/sepo_gpusim.dir/thread_pool.cpp.o.d"
+  "libsepo_gpusim.a"
+  "libsepo_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

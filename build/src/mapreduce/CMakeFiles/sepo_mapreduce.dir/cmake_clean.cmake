@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_mapreduce.dir/runtime.cpp.o"
+  "CMakeFiles/sepo_mapreduce.dir/runtime.cpp.o.d"
+  "libsepo_mapreduce.a"
+  "libsepo_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_test.cpp" "tests/CMakeFiles/sepo_tests.dir/alloc_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/alloc_test.cpp.o.d"
+  "/root/repo/tests/apps_test.cpp" "tests/CMakeFiles/sepo_tests.dir/apps_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/apps_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/sepo_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/bigkernel_test.cpp" "tests/CMakeFiles/sepo_tests.dir/bigkernel_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/bigkernel_test.cpp.o.d"
+  "/root/repo/tests/bitmap_test.cpp" "tests/CMakeFiles/sepo_tests.dir/bitmap_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/bitmap_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/sepo_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/gpusim_test.cpp" "tests/CMakeFiles/sepo_tests.dir/gpusim_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/gpusim_test.cpp.o.d"
+  "/root/repo/tests/hash_table_test.cpp" "tests/CMakeFiles/sepo_tests.dir/hash_table_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/hash_table_test.cpp.o.d"
+  "/root/repo/tests/mapreduce_test.cpp" "tests/CMakeFiles/sepo_tests.dir/mapreduce_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/mapreduce_test.cpp.o.d"
+  "/root/repo/tests/progress_test.cpp" "tests/CMakeFiles/sepo_tests.dir/progress_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/progress_test.cpp.o.d"
+  "/root/repo/tests/property_sweep_test.cpp" "tests/CMakeFiles/sepo_tests.dir/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/random_config_test.cpp" "tests/CMakeFiles/sepo_tests.dir/random_config_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/random_config_test.cpp.o.d"
+  "/root/repo/tests/sepo_driver_test.cpp" "tests/CMakeFiles/sepo_tests.dir/sepo_driver_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/sepo_driver_test.cpp.o.d"
+  "/root/repo/tests/sepo_lookup_test.cpp" "tests/CMakeFiles/sepo_tests.dir/sepo_lookup_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/sepo_lookup_test.cpp.o.d"
+  "/root/repo/tests/sepo_model_test.cpp" "tests/CMakeFiles/sepo_tests.dir/sepo_model_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/sepo_model_test.cpp.o.d"
+  "/root/repo/tests/shape_regression_test.cpp" "tests/CMakeFiles/sepo_tests.dir/shape_regression_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/shape_regression_test.cpp.o.d"
+  "/root/repo/tests/stadium_test.cpp" "tests/CMakeFiles/sepo_tests.dir/stadium_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/stadium_test.cpp.o.d"
+  "/root/repo/tests/table_io_test.cpp" "tests/CMakeFiles/sepo_tests.dir/table_io_test.cpp.o" "gcc" "tests/CMakeFiles/sepo_tests.dir/table_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/sepo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sepo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sepo_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sepo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bigkernel/CMakeFiles/sepo_bigkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/sepo_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/sepo_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sepo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

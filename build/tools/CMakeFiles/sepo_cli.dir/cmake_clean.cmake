@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sepo_cli.dir/sepo_cli.cpp.o"
+  "CMakeFiles/sepo_cli.dir/sepo_cli.cpp.o.d"
+  "sepo_cli"
+  "sepo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sepo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,7 +6,15 @@
 // over its CPU baseline and the number of SEPO iterations (the number shown
 // on top of each bar in the paper's figure). Result checksums of the two
 // implementations are cross-validated on every run.
+//
+//   fig6_speedup [--tiny] [--metrics-out=FILE] [--trace-out=FILE]
+//
+// --tiny restricts to dataset #1 (the ctest metrics fixture uses it);
+// --metrics-out writes the full per-run telemetry (EXPERIMENTS.md
+// "BENCH_*.json"); --trace-out records the GPU runs onto one simulated
+// timeline, one section per (app, dataset).
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <vector>
@@ -15,6 +23,8 @@
 #include "apps/mr_apps.hpp"
 #include "apps/standalone_app.hpp"
 #include "common/table_printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sepo;
 using namespace sepo::apps;
@@ -28,27 +38,46 @@ struct Row {
   RunResult gpu, cpu;
 };
 
-Row run_standalone(const StandaloneApp& app, int dataset) {
+Row run_standalone(const StandaloneApp& app, int dataset,
+                   obs::TraceRecorder* rec) {
   const std::size_t bytes = table1_bytes(app.table1_key(), dataset);
   const std::string input = app.generate(bytes, 1000 + dataset);
-  return {app.name(), dataset, input.size(), app.run_gpu(input),
+  if (rec) rec->begin_section(std::string(app.name()) + " #" +
+                              std::to_string(dataset));
+  GpuConfig gcfg;
+  gcfg.trace = rec;
+  return {app.name(), dataset, input.size(), app.run_gpu(input, gcfg),
           app.run_cpu(input)};
 }
 
-Row run_mr(const MrApp& app, int dataset) {
+Row run_mr(const MrApp& app, int dataset, obs::TraceRecorder* rec) {
   const std::size_t bytes = table1_bytes(app.table1_key, dataset);
   const std::string input = app.generate(bytes, 2000 + dataset);
-  return {app.name, dataset, input.size(), run_mr_sepo(app, input),
+  if (rec) rec->begin_section(std::string(app.name) + " #" +
+                              std::to_string(dataset));
+  GpuConfig gcfg;
+  gcfg.trace = rec;
+  return {app.name, dataset, input.size(), run_mr_sepo(app, input, gcfg),
           run_mr_phoenix(app, input)};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  const int max_dataset = tiny ? 1 : 4;
+
   std::printf("== Figure 6: speedup over CPU multi-threaded baseline "
               "(MapReduce apps: over Phoenix++) ==\n");
   std::printf("   datasets: paper Table I scaled 1:1000 (GB -> MB); device: "
-              "4 MiB (~1:1000 of the usable GTX 780ti capacity)\n\n");
+              "4 MiB (~1:1000 of the usable GTX 780ti capacity)%s\n\n",
+              tiny ? "; --tiny: dataset #1 only" : "");
+
+  std::unique_ptr<obs::TraceRecorder> rec;
+  if (out.trace_enabled()) rec = std::make_unique<obs::TraceRecorder>();
 
   std::vector<Row> rows;
   {
@@ -58,11 +87,13 @@ int main() {
     NetflixApp netflix;
     const StandaloneApp* standalone[] = {&netflix, &dna, &pvc, &ii};
     for (const StandaloneApp* app : standalone)
-      for (int d = 1; d <= 4; ++d) rows.push_back(run_standalone(*app, d));
+      for (int d = 1; d <= max_dataset; ++d)
+        rows.push_back(run_standalone(*app, d, rec.get()));
   }
   for (const MrApp* app :
        {&word_count_app(), &patent_citation_app(), &geo_location_app()})
-    for (int d = 1; d <= 4; ++d) rows.push_back(run_mr(*app, d));
+    for (int d = 1; d <= max_dataset; ++d)
+      rows.push_back(run_mr(*app, d, rec.get()));
 
   TablePrinter table({"app", "dataset", "input", "iterations", "table/heap",
                       "gpu sim (ms)", "cpu sim (ms)", "speedup", "results"});
@@ -88,5 +119,37 @@ int main() {
   std::printf("paper shape: Inverted Index and Word Count do not perform "
               "well (divergence / lock contention); others see clear "
               "speedups; iteration counts rise with dataset size.\n");
+
+  if (out.metrics_enabled()) {
+    obs::MetricsReport report("fig6_speedup");
+    report.set_field("tiny", tiny);
+    report.set_field("average_speedup",
+                     sum_speedup / static_cast<double>(rows.size()));
+    for (const Row& r : rows) {
+      obs::Json extra = obs::Json::object();
+      extra.set("dataset", r.dataset);
+      extra.set("input_bytes", static_cast<std::uint64_t>(r.input_bytes));
+      extra.set("speedup", r.cpu.sim_seconds / r.gpu.sim_seconds);
+      extra.set("digest_match", r.gpu.checksum == r.cpu.checksum);
+      obs::Json extra_cpu = extra;
+      report.add_run(r.app, r.gpu, std::move(extra));
+      report.add_run(r.app, r.cpu, std::move(extra_cpu));
+    }
+    report.add_table("fig6", table);
+    std::string err;
+    if (!report.write_file(out.metrics_path, &err)) {
+      std::fprintf(stderr, "metrics: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", out.metrics_path.c_str());
+  }
+  if (rec) {
+    std::string err;
+    if (!rec->write_file(out.trace_path, &err)) {
+      std::fprintf(stderr, "trace: %s\n", err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", out.trace_path.c_str());
+  }
   return 0;
 }

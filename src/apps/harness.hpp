@@ -12,9 +12,11 @@
 #include "bigkernel/pipeline.hpp"
 #include "common/hashing.hpp"
 #include "common/strings.hpp"
+#include "core/iteration_profile.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/pcie.hpp"
+#include "gpusim/trace_hook.hpp"
 
 namespace sepo::apps {
 
@@ -38,6 +40,10 @@ struct GpuConfig {
   // Basic-organization halt threshold (§IV-C footnote 5); the ablation bench
   // sweeps it.
   double basic_halt_frac = 0.5;
+  // Telemetry hook (e.g. obs::TraceRecorder), installed on the run's
+  // counters and bus. Null (the default) disables recording entirely;
+  // recording never alters counters, so sim_seconds is identical either way.
+  gpusim::TraceHook* trace = nullptr;
 };
 
 struct CpuConfig {
@@ -60,8 +66,16 @@ struct RunResult {
   std::uint64_t checksum = 0;       // order-independent result digest
   std::uint64_t keys = 0;           // distinct keys (entries) in the result
   double sim_seconds = 0;           // modelled time
-  double wall_seconds = 0;          // host wall clock (secondary)
+  // Host wall clock. Informational only: it depends on the simulation
+  // host's hardware and load, unlike sim_seconds. Serialized and printed as
+  // "wall_seconds_host" to keep that distinction visible.
+  double wall_seconds = 0;
   gpusim::GpuTimeBreakdown gpu_breakdown{};  // GPU paths only
+  // Per-SEPO-iteration convergence profiles (SEPO paths; empty otherwise).
+  core::IterationProfiles iteration_profiles;
+  // Final-table bucket occupancy: [n] = buckets with n entries, last bin
+  // aggregates longer chains (SEPO paths; empty otherwise).
+  std::vector<std::uint64_t> bucket_histogram;
 };
 
 // Picks a BigKernel chunking for `idx` under `cfg` (implemented in

@@ -110,6 +110,10 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   gpusim::Device dev(cfg.device_bytes);
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
+  if (cfg.trace) {
+    stats.set_trace_hook(cfg.trace);
+    dev.bus().set_trace_hook(cfg.trace);
+  }
 
   mapreduce::RuntimeConfig rcfg;
   rcfg.table.num_buckets = cfg.num_buckets;
@@ -135,6 +139,8 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   r.checksum = app.mode == mapreduce::Mode::kMapGroup
                    ? digest_groups(*out.table)
                    : digest_kv(*out.table);
+  r.iteration_profiles = out.driver.profiles;
+  r.bucket_histogram = out.table->occupancy_histogram();
   r.sim_seconds =
       gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
   r.wall_seconds = timer.seconds();

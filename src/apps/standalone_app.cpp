@@ -97,6 +97,10 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   gpusim::Device dev(cfg.device_bytes);
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
+  if (cfg.trace) {
+    stats.set_trace_hook(cfg.trace);
+    dev.bus().set_trace_hook(cfg.trace);
+  }
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
@@ -142,6 +146,8 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   r.checksum = organization() == core::Organization::kMultiValued
                    ? digest_groups(table)
                    : digest_kv(table);
+  r.iteration_profiles = dres.profiles;
+  r.bucket_histogram = table.occupancy_histogram();
   r.sim_seconds =
       gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
   r.wall_seconds = timer.seconds();
@@ -198,6 +204,10 @@ RunResult StandaloneApp::run_pinned(std::string_view input,
   gpusim::Device dev(cfg.device_bytes);
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
+  if (cfg.trace) {
+    stats.set_trace_hook(cfg.trace);
+    dev.bus().set_trace_hook(cfg.trace);
+  }
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;

@@ -52,6 +52,41 @@ void TablePrinter::print_csv(std::ostream& os) const {
   for (const auto& row : rows_) line(row);
 }
 
+void TablePrinter::print_json(std::ostream& os) const {
+  auto escaped = [&](const std::string& s) {
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+            os << buf;
+          } else {
+            os << ch;
+          }
+      }
+    }
+  };
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c) os << ", ";
+      os << '"';
+      escaped(headers_[c]);
+      os << "\": \"";
+      escaped(rows_[r][c]);
+      os << '"';
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 std::string TablePrinter::fmt(double v, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, v);

@@ -22,6 +22,18 @@ class TablePrinter {
   // Renders comma-separated values (no quoting; callers avoid commas).
   void print_csv(std::ostream& os) const;
 
+  // Renders a JSON array of {header: cell} objects (all cells as strings).
+  // obs::table_to_json builds the same shape as a typed value tree.
+  void print_json(std::ostream& os) const;
+
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
   static std::string fmt(double v, int precision = 2);
   static std::string fmt_int(long long v);
   static std::string fmt_bytes(unsigned long long bytes);

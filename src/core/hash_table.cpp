@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/hashing.hpp"
+#include "gpusim/trace_hook.hpp"
 
 namespace sepo::core {
 
@@ -263,6 +264,7 @@ void SepoHashTable::rebuild_device_chains() {
 }
 
 void SepoHashTable::flush_pages(const std::vector<std::uint32_t>& pages) {
+  std::uint64_t flushed_pages = 0, flushed_bytes = 0;
   for (const std::uint32_t p : pages) {
     auto& meta = pool_pages_->meta(p);
     const std::uint32_t used = meta.used.load(std::memory_order_relaxed);
@@ -272,9 +274,13 @@ void SepoHashTable::flush_pages(const std::vector<std::uint32_t>& pages) {
       dev_.bus().d2h(used);
       flushed_bytes_ += used;
       ++flush_pages_;
+      ++flushed_pages;
+      flushed_bytes += used;
     }
     pool_pages_->release(p);
   }
+  if (auto* hook = stats_.trace_hook(); hook && flushed_pages > 0)
+    hook->on_flush(flushed_pages, flushed_bytes);
 }
 
 void SepoHashTable::end_iteration() {
@@ -349,6 +355,22 @@ SepoHashTable::BucketLoad SepoHashTable::bucket_load() const noexcept {
     load.max_bucket_accesses = std::max<std::uint64_t>(load.max_bucket_accesses, c);
   }
   return load;
+}
+
+std::vector<std::uint64_t> SepoHashTable::resident_chain_histogram(
+    std::size_t max_len) const {
+  std::vector<std::uint64_t> hist(max_len + 1, 0);
+  for (const Bucket& bucket : buckets_) {
+    std::size_t len = 0;
+    for (DevPtr p = bucket.head_dev.load(std::memory_order_relaxed);
+         p != gpusim::kDevNull; ++len) {
+      p = cfg_.org == Organization::kMultiValued
+              ? dev_.ptr<KeyEntry>(p)->next_dev
+              : dev_.ptr<KvEntry>(p)->next_dev;
+    }
+    ++hist[std::min(len, max_len)];
+  }
+  return hist;
 }
 
 HashTableStats SepoHashTable::table_stats() const noexcept {

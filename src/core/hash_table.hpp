@@ -112,9 +112,18 @@ class SepoHashTable {
   [[nodiscard]] BucketLoad bucket_load() const noexcept;
 
   [[nodiscard]] HashTableStats table_stats() const noexcept;
+
+  // Histogram of *resident* (device-side) chain lengths: result[n] = number
+  // of buckets whose device chain currently holds n entries; the last bin
+  // aggregates everything >= its index. Walks every bucket — call between
+  // kernels, for telemetry.
+  [[nodiscard]] std::vector<std::uint64_t> resident_chain_histogram(
+      std::size_t max_len = 16) const;
+
   [[nodiscard]] std::uint32_t free_pages() const noexcept {
     return pool_pages_->free_count();
   }
+  [[nodiscard]] gpusim::RunStats& run_stats() noexcept { return stats_; }
   [[nodiscard]] alloc::HostHeap& host_heap() noexcept { return *host_heap_; }
   [[nodiscard]] alloc::BucketGroupAllocator& allocator() noexcept {
     return *allocator_;

@@ -1,5 +1,6 @@
 #include "core/host_table.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/hashing.hpp"
@@ -170,6 +171,20 @@ std::size_t HostTable::entry_count() const {
         ++n;
   }
   return n;
+}
+
+std::vector<std::uint64_t> HostTable::occupancy_histogram(
+    std::size_t max_len) const {
+  std::vector<std::uint64_t> hist(max_len + 1, 0);
+  for (const HostPtr head : heads_) {
+    std::size_t len = 0;
+    for (HostPtr p = head; p != alloc::kHostNull; ++len)
+      p = org_ == Organization::kMultiValued
+              ? heap_.ptr<KeyEntry>(p)->next_host
+              : heap_.ptr<KvEntry>(p)->next_host;
+    ++hist[std::min(len, max_len)];
+  }
+  return hist;
 }
 
 std::size_t HostTable::value_count() const {

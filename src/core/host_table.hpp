@@ -85,6 +85,13 @@ class HostTable {
     return merged_duplicates_;
   }
 
+  // Bucket-occupancy histogram over the finalized chains: result[n] = number
+  // of buckets holding n entries, with the last bin aggregating chain
+  // lengths >= max_len. Telemetry: exported in the metrics JSON so load
+  // distribution (and hence probe cost) is visible across runs.
+  [[nodiscard]] std::vector<std::uint64_t> occupancy_histogram(
+      std::size_t max_len = 16) const;
+
   // --- low-level access for phase-2 engines (e.g. core::SepoLookupEngine),
   // which re-stage bucket chains into device memory ---
   [[nodiscard]] HostPtr bucket_head(std::size_t b) const noexcept {

@@ -1,0 +1,40 @@
+// Per-SEPO-iteration convergence snapshot (DESIGN.md "Telemetry & tracing").
+//
+// The SEPO driver records one of these after every iteration (pass + flush),
+// from counter deltas and hash-table introspection. The vector of profiles
+// is the machine-readable form of the paper's convergence story: postpone
+// rates fall iteration over iteration as the table's working set drains into
+// the host heap (§III-B, §VI).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sepo::core {
+
+struct IterationProfile {
+  std::uint32_t iteration = 0;  // 1-based
+
+  // This iteration's pass (counter deltas).
+  std::uint64_t records_processed = 0;
+  std::uint64_t records_postponed = 0;  // postponed task executions
+  double postpone_rate = 0;  // postponed / (processed + postponed)
+  std::uint64_t page_acquires = 0;
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t hash_ops = 0;
+  std::uint64_t chunks_staged = 0;
+  std::uint64_t chunks_skipped = 0;
+  std::uint64_t bytes_staged = 0;
+  bool halted = false;  // pass cut short by the Basic 50% rule
+
+  // Table state after the iteration's flush.
+  std::uint32_t free_pages_after = 0;
+  std::uint64_t resident_entry_bytes = 0;
+  std::uint64_t flushed_bytes_total = 0;  // cumulative across iterations
+  std::uint64_t distinct_entries_total = 0;  // cumulative inserts_new
+  std::uint64_t hottest_bucket_ops = 0;  // cumulative max same-bucket ops
+};
+
+using IterationProfiles = std::vector<IterationProfile>;
+
+}  // namespace sepo::core

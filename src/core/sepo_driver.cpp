@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "gpusim/trace_hook.hpp"
+
 namespace sepo::core {
 
 DriverResult SepoDriver::run(SepoHashTable& ht,
@@ -15,12 +17,15 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
   if (use_halt)
     halted = [&ht, frac = cfg_.basic_halt_frac] { return ht.should_halt(frac); };
 
+  gpusim::TraceHook* const hook = ht.run_stats().trace_hook();
   while (!progress.all_done()) {
     if (result.iterations >= cfg_.max_iterations)
       throw std::runtime_error("SEPO driver exceeded max_iterations");
     ++result.iterations;
+    if (hook) hook->on_iteration_begin(result.iterations);
 
     const std::size_t done_before = progress.done_count();
+    const gpusim::StatsSnapshot stats_before = ht.run_stats().snapshot();
     ht.begin_iteration();
     const bigkernel::PassResult pass =
         pipe.run_pass(input, index, progress, task, halted);
@@ -29,6 +34,9 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
     result.chunks_staged += pass.chunks_staged;
     result.chunks_skipped += pass.chunks_skipped;
     result.bytes_staged += pass.bytes_staged;
+    result.profiles.push_back(
+        profile_iteration(ht, result.iterations, stats_before, pass));
+    if (hook) hook->on_iteration_end(result.iterations);
 
     if (progress.done_count() == done_before)
       throw std::runtime_error(
@@ -36,6 +44,37 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
           "size, or the heap has zero pages");
   }
   return result;
+}
+
+IterationProfile SepoDriver::profile_iteration(
+    SepoHashTable& ht, std::uint32_t iteration,
+    const gpusim::StatsSnapshot& before, const bigkernel::PassResult& pass) {
+  const gpusim::StatsSnapshot after = ht.run_stats().snapshot();
+  const gpusim::StatsSnapshot delta = after - before;
+
+  IterationProfile p;
+  p.iteration = iteration;
+  p.records_processed = delta.records_processed;
+  p.records_postponed = delta.records_postponed;
+  const std::uint64_t attempts = delta.records_processed + delta.records_postponed;
+  p.postpone_rate = attempts == 0 ? 0.0
+                                  : static_cast<double>(delta.records_postponed) /
+                                        static_cast<double>(attempts);
+  p.page_acquires = delta.page_acquires;
+  p.kernel_launches = delta.kernel_launches;
+  p.hash_ops = delta.hash_ops;
+  p.chunks_staged = pass.chunks_staged;
+  p.chunks_skipped = pass.chunks_skipped;
+  p.bytes_staged = pass.bytes_staged;
+  p.halted = pass.halted;
+
+  p.free_pages_after = ht.free_pages();
+  const HashTableStats ts = ht.table_stats();
+  p.resident_entry_bytes = ts.resident_entry_bytes;
+  p.flushed_bytes_total = ts.flushed_bytes;
+  p.distinct_entries_total = after.inserts_new;
+  p.hottest_bucket_ops = ht.bucket_load().max_bucket_accesses;
+  return p;
 }
 
 }  // namespace sepo::core

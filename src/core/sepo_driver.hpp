@@ -16,6 +16,7 @@
 #include "common/progress.hpp"
 #include "common/strings.hpp"
 #include "core/hash_table.hpp"
+#include "core/iteration_profile.hpp"
 
 namespace sepo::core {
 
@@ -33,6 +34,9 @@ struct DriverResult {
   std::uint64_t chunks_staged = 0;
   std::uint64_t chunks_skipped = 0;
   std::uint64_t bytes_staged = 0;
+  // One convergence snapshot per iteration (telemetry; always collected —
+  // the cost is one counter snapshot and one bucket sweep per iteration).
+  IterationProfiles profiles;
 };
 
 class SepoDriver {
@@ -53,6 +57,11 @@ class SepoDriver {
   [[nodiscard]] const DriverConfig& config() const noexcept { return cfg_; }
 
  private:
+  static IterationProfile profile_iteration(SepoHashTable& ht,
+                                            std::uint32_t iteration,
+                                            const gpusim::StatsSnapshot& before,
+                                            const bigkernel::PassResult& pass);
+
   DriverConfig cfg_;
 };
 

@@ -9,58 +9,80 @@
 
 namespace sepo::gpusim {
 
+class TraceHook;
+
+// The single source of truth for the counter set. StatsSnapshot fields,
+// RunStats atomics/adders, snapshot(), reset(), arithmetic, and the JSON
+// serializer (obs::to_json) are all generated from this list, so adding a
+// counter is one line here and one nowhere else.
+//
+//   X(field, comment)
+#define SEPO_STATS_FIELDS(X)                                                   \
+  /* Task-level */                                                             \
+  X(records_processed, "tasks that completed successfully")                    \
+  X(records_postponed, "task executions that ended in POSTPONE")               \
+  X(records_scanned, "task slots visited (incl. done-skips)")                  \
+  X(work_units, "app work, in bytes parsed/produced")                          \
+  /* Hash-table level */                                                       \
+  X(hash_ops, "insert/lookup operations started")                              \
+  X(key_compare_bytes, "bytes compared while probing chains")                  \
+  X(chain_links_walked, "entries visited while probing")                       \
+  X(inserts_new, "new entries materialized")                                   \
+  X(combines, "in-place value merges")                                         \
+  X(value_appends, "multi-valued appends")                                     \
+  /* Allocator level */                                                        \
+  X(alloc_ops, "allocation attempts")                                          \
+  X(alloc_fails, "POSTPONE-producing failures")                                \
+  X(page_acquires, "pages claimed from the pool")                              \
+  /* Synchronization level */                                                  \
+  X(lock_acquires, "lock acquire/release pairs")                               \
+  X(lock_contended, "acquires that found the lock held")                       \
+  X(atomic_retries, "CAS retries")                                             \
+  /* Control level */                                                          \
+  X(divergent_units, "work units executed under warp divergence")              \
+  X(kernel_launches, "kernel launches")                                        \
+  X(iterations, "SEPO iterations over the input")
+
 // Plain-value snapshot of RunStats, safe to copy and do arithmetic on.
 struct StatsSnapshot {
-  // Task-level
-  std::uint64_t records_processed = 0;  // tasks that completed successfully
-  std::uint64_t records_postponed = 0;  // task executions that ended in POSTPONE
-  std::uint64_t records_scanned = 0;    // task slots visited (incl. done-skips)
-  std::uint64_t work_units = 0;         // app work, in bytes parsed/produced
-
-  // Hash-table level
-  std::uint64_t hash_ops = 0;           // insert/lookup operations started
-  std::uint64_t key_compare_bytes = 0;  // bytes compared while probing chains
-  std::uint64_t chain_links_walked = 0; // entries visited while probing
-  std::uint64_t inserts_new = 0;        // new entries materialized
-  std::uint64_t combines = 0;           // in-place value merges
-  std::uint64_t value_appends = 0;      // multi-valued appends
-
-  // Allocator level
-  std::uint64_t alloc_ops = 0;
-  std::uint64_t alloc_fails = 0;        // POSTPONE-producing failures
-  std::uint64_t page_acquires = 0;
-
-  // Synchronization level
-  std::uint64_t lock_acquires = 0;
-  std::uint64_t lock_contended = 0;     // acquires that found the lock held
-  std::uint64_t atomic_retries = 0;     // CAS retries
-
-  // Control level
-  std::uint64_t divergent_units = 0;    // work units executed under warp divergence
-  std::uint64_t kernel_launches = 0;
-  std::uint64_t iterations = 0;         // SEPO iterations over the input
+#define SEPO_X(field, comment) std::uint64_t field = 0; /* comment */
+  SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
 
   StatsSnapshot& operator+=(const StatsSnapshot& o) {
-    records_processed += o.records_processed;
-    records_postponed += o.records_postponed;
-    records_scanned += o.records_scanned;
-    work_units += o.work_units;
-    hash_ops += o.hash_ops;
-    key_compare_bytes += o.key_compare_bytes;
-    chain_links_walked += o.chain_links_walked;
-    inserts_new += o.inserts_new;
-    combines += o.combines;
-    value_appends += o.value_appends;
-    alloc_ops += o.alloc_ops;
-    alloc_fails += o.alloc_fails;
-    page_acquires += o.page_acquires;
-    lock_acquires += o.lock_acquires;
-    lock_contended += o.lock_contended;
-    atomic_retries += o.atomic_retries;
-    divergent_units += o.divergent_units;
-    kernel_launches += o.kernel_launches;
-    iterations += o.iterations;
+#define SEPO_X(field, comment) field += o.field;
+    SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
     return *this;
+  }
+
+  // Saturating per-field difference (deltas between two points in a run;
+  // counters are monotone so saturation only guards against misuse).
+  StatsSnapshot& operator-=(const StatsSnapshot& o) {
+#define SEPO_X(field, comment) field = field >= o.field ? field - o.field : 0;
+    SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
+    return *this;
+  }
+
+  [[nodiscard]] friend StatsSnapshot operator+(StatsSnapshot a,
+                                               const StatsSnapshot& b) {
+    return a += b;
+  }
+  [[nodiscard]] friend StatsSnapshot operator-(StatsSnapshot a,
+                                               const StatsSnapshot& b) {
+    return a -= b;
+  }
+
+  [[nodiscard]] bool operator==(const StatsSnapshot&) const = default;
+
+  // Visits every counter as fn(name, value); the serializers and tests use
+  // this so their field list cannot drift from the struct.
+  template <typename Fn>
+  void for_each_field(Fn&& fn) const {
+#define SEPO_X(field, comment) fn(#field, field);
+    SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
   }
 };
 
@@ -68,72 +90,47 @@ struct StatsSnapshot {
 // read only between kernel launches, when virtual threads are quiescent.
 class RunStats {
  public:
-  void add_records_processed(std::uint64_t n = 1) noexcept { bump(records_processed_, n); }
-  void add_records_postponed(std::uint64_t n = 1) noexcept { bump(records_postponed_, n); }
-  void add_records_scanned(std::uint64_t n = 1) noexcept { bump(records_scanned_, n); }
-  void add_work_units(std::uint64_t n) noexcept { bump(work_units_, n); }
-  void add_hash_ops(std::uint64_t n = 1) noexcept { bump(hash_ops_, n); }
-  void add_key_compare_bytes(std::uint64_t n) noexcept { bump(key_compare_bytes_, n); }
-  void add_chain_links(std::uint64_t n = 1) noexcept { bump(chain_links_walked_, n); }
-  void add_inserts_new(std::uint64_t n = 1) noexcept { bump(inserts_new_, n); }
-  void add_combines(std::uint64_t n = 1) noexcept { bump(combines_, n); }
-  void add_value_appends(std::uint64_t n = 1) noexcept { bump(value_appends_, n); }
-  void add_alloc_ops(std::uint64_t n = 1) noexcept { bump(alloc_ops_, n); }
-  void add_alloc_fails(std::uint64_t n = 1) noexcept { bump(alloc_fails_, n); }
-  void add_page_acquires(std::uint64_t n = 1) noexcept { bump(page_acquires_, n); }
-  void add_lock_acquires(std::uint64_t n = 1) noexcept { bump(lock_acquires_, n); }
-  void add_lock_contended(std::uint64_t n = 1) noexcept { bump(lock_contended_, n); }
-  void add_atomic_retries(std::uint64_t n = 1) noexcept { bump(atomic_retries_, n); }
-  void add_divergent_units(std::uint64_t n) noexcept { bump(divergent_units_, n); }
-  void add_kernel_launches(std::uint64_t n = 1) noexcept { bump(kernel_launches_, n); }
-  void add_iterations(std::uint64_t n = 1) noexcept { bump(iterations_, n); }
+#define SEPO_X(field, comment)                                                 \
+  void add_##field(std::uint64_t n = 1) noexcept { bump(field##_, n); }
+  SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
+
+  // Historical short name kept for kernel-code brevity.
+  void add_chain_links(std::uint64_t n = 1) noexcept {
+    add_chain_links_walked(n);
+  }
 
   [[nodiscard]] StatsSnapshot snapshot() const noexcept {
     StatsSnapshot s;
-    s.records_processed = records_processed_.load(std::memory_order_relaxed);
-    s.records_postponed = records_postponed_.load(std::memory_order_relaxed);
-    s.records_scanned = records_scanned_.load(std::memory_order_relaxed);
-    s.work_units = work_units_.load(std::memory_order_relaxed);
-    s.hash_ops = hash_ops_.load(std::memory_order_relaxed);
-    s.key_compare_bytes = key_compare_bytes_.load(std::memory_order_relaxed);
-    s.chain_links_walked = chain_links_walked_.load(std::memory_order_relaxed);
-    s.inserts_new = inserts_new_.load(std::memory_order_relaxed);
-    s.combines = combines_.load(std::memory_order_relaxed);
-    s.value_appends = value_appends_.load(std::memory_order_relaxed);
-    s.alloc_ops = alloc_ops_.load(std::memory_order_relaxed);
-    s.alloc_fails = alloc_fails_.load(std::memory_order_relaxed);
-    s.page_acquires = page_acquires_.load(std::memory_order_relaxed);
-    s.lock_acquires = lock_acquires_.load(std::memory_order_relaxed);
-    s.lock_contended = lock_contended_.load(std::memory_order_relaxed);
-    s.atomic_retries = atomic_retries_.load(std::memory_order_relaxed);
-    s.divergent_units = divergent_units_.load(std::memory_order_relaxed);
-    s.kernel_launches = kernel_launches_.load(std::memory_order_relaxed);
-    s.iterations = iterations_.load(std::memory_order_relaxed);
+#define SEPO_X(field, comment)                                                 \
+  s.field = field##_.load(std::memory_order_relaxed);
+    SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
     return s;
   }
 
   void reset() noexcept {
-    for (auto* c :
-         {&records_processed_, &records_postponed_, &records_scanned_,
-          &work_units_, &hash_ops_, &key_compare_bytes_, &chain_links_walked_,
-          &inserts_new_, &combines_, &value_appends_, &alloc_ops_,
-          &alloc_fails_, &page_acquires_, &lock_acquires_, &lock_contended_,
-          &atomic_retries_, &divergent_units_, &kernel_launches_,
-          &iterations_})
-      c->store(0, std::memory_order_relaxed);
+#define SEPO_X(field, comment) field##_.store(0, std::memory_order_relaxed);
+    SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
   }
+
+  // Optional telemetry hook (obs::TraceRecorder). Install before a run, from
+  // the host, while virtual threads are quiescent; null (the default) keeps
+  // the hot path a single predictable branch and recording changes no
+  // counter, so simulated results are identical with or without it.
+  void set_trace_hook(TraceHook* hook) noexcept { trace_hook_ = hook; }
+  [[nodiscard]] TraceHook* trace_hook() const noexcept { return trace_hook_; }
 
  private:
   static void bump(std::atomic<std::uint64_t>& c, std::uint64_t n) noexcept {
     c.fetch_add(n, std::memory_order_relaxed);
   }
 
-  std::atomic<std::uint64_t> records_processed_{0}, records_postponed_{0},
-      records_scanned_{0}, work_units_{0}, hash_ops_{0}, key_compare_bytes_{0},
-      chain_links_walked_{0}, inserts_new_{0}, combines_{0}, value_appends_{0},
-      alloc_ops_{0}, alloc_fails_{0}, page_acquires_{0}, lock_acquires_{0},
-      lock_contended_{0}, atomic_retries_{0}, divergent_units_{0},
-      kernel_launches_{0}, iterations_{0};
+#define SEPO_X(field, comment) std::atomic<std::uint64_t> field##_{0};
+  SEPO_STATS_FIELDS(SEPO_X)
+#undef SEPO_X
+  TraceHook* trace_hook_ = nullptr;
 };
 
 }  // namespace sepo::gpusim

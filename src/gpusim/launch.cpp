@@ -1,13 +1,15 @@
 #include "gpusim/launch.hpp"
 
+#include "gpusim/trace_hook.hpp"
+
 namespace sepo::gpusim {
 
-void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
-            const std::function<void(std::size_t)>& kernel, LaunchConfig cfg) {
-  stats.add_kernel_launches();
-  if (n_items == 0) return;
-  const std::size_t grid =
-      cfg.grid_threads == 0 ? n_items : cfg.grid_threads;
+namespace {
+
+void run_grid(ThreadPool& pool, std::size_t n_items,
+              const std::function<void(std::size_t)>& kernel,
+              const LaunchConfig& cfg) {
+  const std::size_t grid = cfg.grid_threads == 0 ? n_items : cfg.grid_threads;
   if (grid >= n_items) {
     pool.parallel_for(n_items, kernel);
     return;
@@ -16,6 +18,25 @@ void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
   pool.parallel_for(grid, [&](std::size_t t) {
     for (std::size_t i = t; i < n_items; i += grid) kernel(i);
   });
+}
+
+}  // namespace
+
+void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
+            const std::function<void(std::size_t)>& kernel, LaunchConfig cfg) {
+  TraceHook* const hook = stats.trace_hook();
+  if (!hook) {
+    stats.add_kernel_launches();
+    if (n_items != 0) run_grid(pool, n_items, kernel, cfg);
+    return;
+  }
+  // Telemetry: report the counter delta this kernel produced (including its
+  // own launch cost). Launches are serial on the host side, so before/after
+  // snapshots bracket exactly this kernel's events.
+  const StatsSnapshot before = stats.snapshot();
+  stats.add_kernel_launches();
+  if (n_items != 0) run_grid(pool, n_items, kernel, cfg);
+  hook->on_kernel(stats.snapshot() - before, n_items);
 }
 
 }  // namespace sepo::gpusim

@@ -1,0 +1,46 @@
+// Telemetry hook points for the virtual device (DESIGN.md "Telemetry &
+// tracing").
+//
+// The simulator never keeps a running clock — simulated time is derived
+// from event counts after the fact — so tracing works the same way: the
+// device reports *events* (a kernel's counter delta, a bus transfer's byte
+// count) and the recorder (obs::TraceRecorder) prices them into simulated
+// timestamps. Hooks are nullable pointers checked with one branch on the
+// recording paths; with no hook installed nothing else changes, which is
+// what keeps tier-1 results bit-identical with telemetry off.
+//
+// Callback context: on_kernel / on_flush / on_iteration fire from the host
+// between kernels (serial). on_h2d / on_d2h fire from the host staging /
+// flush loops (serial). on_remote fires from *inside kernels* and may be
+// concurrent — implementations must synchronize that path themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gpusim/counters.hpp"
+
+namespace sepo::gpusim {
+
+class TraceHook {
+ public:
+  virtual ~TraceHook() = default;
+
+  // One kernel finished; `delta` is the counter change it produced.
+  virtual void on_kernel(const StatsSnapshot& delta, std::size_t n_items) = 0;
+
+  // Bus transfers, as metered by PcieBus.
+  virtual void on_h2d(std::uint64_t bytes) = 0;
+  virtual void on_d2h(std::uint64_t bytes) = 0;
+  virtual void on_remote(std::uint64_t bytes) = 0;
+
+  // A heap flush (SepoHashTable::flush_pages) completed; its page-level d2h
+  // transfers were already reported through on_d2h.
+  virtual void on_flush(std::uint64_t pages, std::uint64_t bytes) = 0;
+
+  // SEPO iteration boundaries (SepoDriver).
+  virtual void on_iteration_begin(std::uint32_t iteration) = 0;
+  virtual void on_iteration_end(std::uint32_t iteration) = 0;
+};
+
+}  // namespace sepo::gpusim

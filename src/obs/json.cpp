@@ -1,0 +1,454 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace sepo::obs {
+
+namespace {
+const Json kNullJson{};
+const std::string kEmptyString{};
+const Json::Array kEmptyArray{};
+const Json::Object kEmptyObject{};
+}  // namespace
+
+double Json::as_double() const noexcept {
+  switch (type()) {
+    case Type::kUint: return static_cast<double>(std::get<std::uint64_t>(v_));
+    case Type::kInt: return static_cast<double>(std::get<std::int64_t>(v_));
+    case Type::kDouble: return std::get<double>(v_);
+    default: return 0.0;
+  }
+}
+
+std::uint64_t Json::as_u64() const noexcept {
+  switch (type()) {
+    case Type::kUint: return std::get<std::uint64_t>(v_);
+    case Type::kInt: {
+      const std::int64_t i = std::get<std::int64_t>(v_);
+      return i < 0 ? 0 : static_cast<std::uint64_t>(i);
+    }
+    case Type::kDouble: {
+      const double d = std::get<double>(v_);
+      return d < 0 ? 0 : static_cast<std::uint64_t>(d);
+    }
+    default: return 0;
+  }
+}
+
+std::int64_t Json::as_i64() const noexcept {
+  switch (type()) {
+    case Type::kUint: return static_cast<std::int64_t>(std::get<std::uint64_t>(v_));
+    case Type::kInt: return std::get<std::int64_t>(v_);
+    case Type::kDouble: return static_cast<std::int64_t>(std::get<double>(v_));
+    default: return 0;
+  }
+}
+
+bool Json::as_bool() const noexcept {
+  return is_bool() ? std::get<bool>(v_) : false;
+}
+
+const std::string& Json::as_string() const {
+  return is_string() ? std::get<std::string>(v_) : kEmptyString;
+}
+
+Json& Json::set(std::string key, Json value) {
+  if (!is_object()) v_ = Object{};
+  auto& obj = std::get<Object>(v_);
+  for (auto& [k, v] : obj)
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  obj.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(v_))
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::operator[](std::string_view key) const noexcept {
+  const Json* v = find(key);
+  return v ? *v : kNullJson;
+}
+
+const Json::Object& Json::items() const {
+  return is_object() ? std::get<Object>(v_) : kEmptyObject;
+}
+
+Json& Json::push_back(Json value) {
+  if (!is_array()) v_ = Array{};
+  std::get<Array>(v_).push_back(std::move(value));
+  return *this;
+}
+
+const Json& Json::at(std::size_t i) const noexcept {
+  if (!is_array()) return kNullJson;
+  const auto& arr = std::get<Array>(v_);
+  return i < arr.size() ? arr[i] : kNullJson;
+}
+
+const Json::Array& Json::elements() const {
+  return is_array() ? std::get<Array>(v_) : kEmptyArray;
+}
+
+std::size_t Json::size() const noexcept {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  return 0;
+}
+
+// ---------------------------------------------------------------- writing
+
+namespace {
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;  // UTF-8 pass-through
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_double(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, d);  // shortest form
+  os.write(buf, res.ptr - buf);
+}
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+}  // namespace
+
+void Json::write_impl(std::ostream& os, int indent, int depth) const {
+  switch (type()) {
+    case Type::kNull: os << "null"; break;
+    case Type::kBool: os << (std::get<bool>(v_) ? "true" : "false"); break;
+    case Type::kUint: os << std::get<std::uint64_t>(v_); break;
+    case Type::kInt: os << std::get<std::int64_t>(v_); break;
+    case Type::kDouble: write_double(os, std::get<double>(v_)); break;
+    case Type::kString: write_escaped(os, std::get<std::string>(v_)); break;
+    case Type::kArray: {
+      const auto& arr = std::get<Array>(v_);
+      if (arr.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i) os << ',';
+        if (indent) newline_indent(os, indent, depth + 1);
+        arr[i].write_impl(os, indent, depth + 1);
+      }
+      if (indent) newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      const auto& obj = std::get<Object>(v_);
+      if (obj.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : obj) {
+        if (!first) os << ',';
+        first = false;
+        if (indent) newline_indent(os, indent, depth + 1);
+        write_escaped(os, k);
+        os << (indent ? ": " : ":");
+        v.write_impl(os, indent, depth + 1);
+      }
+      if (indent) newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_impl(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream oss;
+  write(oss, indent);
+  return oss.str();
+}
+
+// ---------------------------------------------------------------- parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> run(std::string* error) {
+    std::optional<Json> v = value();
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        fail("trailing characters after JSON value");
+        v = std::nullopt;
+      }
+    }
+    if (!v && error) {
+      *error = err_.empty() ? "invalid JSON" : err_;
+      *error += " (at byte " + std::to_string(pos_) + ")";
+    }
+    return v;
+  }
+
+ private:
+  void fail(std::string msg) {
+    if (err_.empty()) err_ = std::move(msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        auto s = parse_string();
+        if (!s) return std::nullopt;
+        return Json(std::move(*s));
+      }
+      case 't':
+        if (literal("true")) return Json(true);
+        return std::nullopt;
+      case 'f':
+        if (literal("false")) return Json(false);
+        return std::nullopt;
+      case 'n':
+        if (literal("null")) return Json(nullptr);
+        return std::nullopt;
+      default: return parse_number();
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    fail("invalid literal");
+    return false;
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    const bool integral =
+        tok.find('.') == std::string_view::npos &&
+        tok.find('e') == std::string_view::npos &&
+        tok.find('E') == std::string_view::npos;
+    if (integral) {
+      if (tok[0] == '-') {
+        std::int64_t i = 0;
+        const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+        if (r.ec == std::errc{} && r.ptr == tok.data() + tok.size())
+          return Json(i);
+      } else {
+        std::uint64_t u = 0;
+        const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), u);
+        if (r.ec == std::errc{} && r.ptr == tok.data() + tok.size())
+          return Json(u);
+      }
+      // Out-of-range integers fall through to double.
+    }
+    double d = 0;
+    const auto r = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (r.ec != std::errc{} || r.ptr != tok.data() + tok.size()) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    return Json(d);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned cp = 0;
+          const auto r = std::from_chars(text_.data() + pos_,
+                                         text_.data() + pos_ + 4, cp, 16);
+          if (r.ec != std::errc{} || r.ptr != text_.data() + pos_ + 4) {
+            fail("invalid \\u escape");
+            return std::nullopt;
+          }
+          pos_ += 4;
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::optional<Json> parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      auto v = value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return arr;
+      if (!consume(',')) {
+        fail("expected ',' or ']' in array");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':' in object");
+        return std::nullopt;
+      }
+      auto v = value();
+      if (!v) return std::nullopt;
+      obj.set(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return obj;
+      if (!consume(',')) {
+        fail("expected ',' or '}' in object");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace sepo::obs

@@ -1,0 +1,108 @@
+// Dependency-free JSON value tree: writer and parser (no third-party code).
+//
+// Built for the telemetry layer (obs::MetricsReport, obs::TraceRecorder) and
+// for reading metrics files back (sepo_cli metrics-diff / metrics-check).
+// Scope is deliberately small: UTF-8 pass-through strings, 64-bit integers
+// kept exact (unsigned and signed stored as integers, not doubles — counter
+// values and checksums must round-trip bit-exactly), objects preserving
+// insertion order so emitted files diff cleanly.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace sepo::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  enum class Type { kNull, kBool, kUint, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(std::uint64_t u) : v_(u) {}
+  Json(std::int64_t i) : v_(i) {}
+  Json(int i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(long long i) : v_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned long long u) : v_(static_cast<std::uint64_t>(u)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] Type type() const noexcept {
+    return static_cast<Type>(v_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::kUint || type() == Type::kInt ||
+           type() == Type::kDouble;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == Type::kObject;
+  }
+
+  // Numeric accessors convert between the three numeric representations;
+  // they return 0 for non-numbers (callers validate types via is_*).
+  [[nodiscard]] double as_double() const noexcept;
+  [[nodiscard]] std::uint64_t as_u64() const noexcept;
+  [[nodiscard]] std::int64_t as_i64() const noexcept;
+  [[nodiscard]] bool as_bool() const noexcept;
+  [[nodiscard]] const std::string& as_string() const;  // "" for non-strings
+
+  // --- object access ---
+  Json& set(std::string key, Json value);  // appends or overwrites; chains
+  [[nodiscard]] const Json* find(std::string_view key) const noexcept;
+  // Missing keys (or non-objects) yield a shared null value.
+  [[nodiscard]] const Json& operator[](std::string_view key) const noexcept;
+  [[nodiscard]] const Object& items() const;
+
+  // --- array access ---
+  Json& push_back(Json value);
+  [[nodiscard]] const Json& at(std::size_t i) const noexcept;  // null if OOB
+  [[nodiscard]] const Array& elements() const;
+
+  [[nodiscard]] std::size_t size() const noexcept;  // array/object arity
+
+  // --- serialization ---
+  // indent == 0: compact single line; indent > 0: pretty-printed.
+  void write(std::ostream& os, int indent = 0) const;
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  // --- parsing ---
+  // Strict JSON (no comments / trailing commas). On failure returns nullopt
+  // and, when `error` is non-null, stores a message with the byte offset.
+  [[nodiscard]] static std::optional<Json> parse(std::string_view text,
+                                                 std::string* error = nullptr);
+
+ private:
+  explicit Json(Array a) : v_(std::move(a)) {}
+  explicit Json(Object o) : v_(std::move(o)) {}
+
+  void write_impl(std::ostream& os, int indent, int depth) const;
+
+  // Variant order must match Type's enumerator order.
+  std::variant<std::nullptr_t, bool, std::uint64_t, std::int64_t, double,
+               std::string, Array, Object>
+      v_ = nullptr;
+};
+
+}  // namespace sepo::obs

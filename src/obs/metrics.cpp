@@ -1,0 +1,198 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace sepo::obs {
+
+Json to_json(const gpusim::StatsSnapshot& s) {
+  Json j = Json::object();
+  s.for_each_field([&j](const char* name, std::uint64_t v) { j.set(name, v); });
+  return j;
+}
+
+Json to_json(const gpusim::PcieSnapshot& p) {
+  Json j = Json::object();
+  j.set("h2d_bytes", p.h2d_bytes).set("h2d_txns", p.h2d_txns);
+  j.set("d2h_bytes", p.d2h_bytes).set("d2h_txns", p.d2h_txns);
+  j.set("remote_bytes", p.remote_bytes).set("remote_txns", p.remote_txns);
+  return j;
+}
+
+Json to_json(const gpusim::SerializationInputs& s) {
+  Json j = Json::object();
+  j.set("total_lock_ops", s.total_lock_ops);
+  j.set("max_same_lock_ops", s.max_same_lock_ops);
+  j.set("serial_atomic_ops", s.serial_atomic_ops);
+  return j;
+}
+
+Json to_json(const gpusim::GpuTimeBreakdown& b) {
+  Json j = Json::object();
+  j.set("compute", b.compute).set("h2d", b.h2d).set("d2h", b.d2h);
+  j.set("remote", b.remote).set("total", b.total);
+  return j;
+}
+
+Json to_json(const core::IterationProfile& p) {
+  Json j = Json::object();
+  j.set("iteration", p.iteration);
+  j.set("records_processed", p.records_processed);
+  j.set("records_postponed", p.records_postponed);
+  j.set("postpone_rate", p.postpone_rate);
+  j.set("page_acquires", p.page_acquires);
+  j.set("kernel_launches", p.kernel_launches);
+  j.set("hash_ops", p.hash_ops);
+  j.set("chunks_staged", p.chunks_staged);
+  j.set("chunks_skipped", p.chunks_skipped);
+  j.set("bytes_staged", p.bytes_staged);
+  j.set("halted", p.halted);
+  j.set("free_pages_after", p.free_pages_after);
+  j.set("resident_entry_bytes", p.resident_entry_bytes);
+  j.set("flushed_bytes_total", p.flushed_bytes_total);
+  j.set("distinct_entries_total", p.distinct_entries_total);
+  j.set("hottest_bucket_ops", p.hottest_bucket_ops);
+  return j;
+}
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Json to_json(const apps::RunResult& r) {
+  Json j = Json::object();
+  j.set("impl", r.impl);
+  j.set("sim_seconds", r.sim_seconds);
+  // Host-dependent: wall clock of the *simulation host*, not a result.
+  j.set("wall_seconds_host", r.wall_seconds);
+  j.set("iterations", r.iterations);
+  j.set("keys", r.keys);
+  j.set("table_bytes", r.table_bytes);
+  j.set("heap_bytes", r.heap_bytes);
+  j.set("checksum_hex", hex64(r.checksum));
+  j.set("stats", to_json(r.stats));
+  j.set("pcie", to_json(r.pcie));
+  j.set("serialization", to_json(r.serial));
+  j.set("gpu_breakdown", to_json(r.gpu_breakdown));
+  Json profiles = Json::array();
+  for (const auto& p : r.iteration_profiles) profiles.push_back(to_json(p));
+  j.set("iteration_profiles", std::move(profiles));
+  Json hist = Json::array();
+  for (const std::uint64_t n : r.bucket_histogram) hist.push_back(n);
+  j.set("bucket_histogram", std::move(hist));
+  return j;
+}
+
+Json table_to_json(const TablePrinter& t) {
+  Json rows = Json::array();
+  for (const auto& row : t.rows()) {
+    Json obj = Json::object();
+    for (std::size_t c = 0; c < t.headers().size() && c < row.size(); ++c)
+      obj.set(t.headers()[c], row[c]);
+    rows.push_back(std::move(obj));
+  }
+  return rows;
+}
+
+void MetricsReport::add_run(std::string_view app, const apps::RunResult& r,
+                            Json extra) {
+  Json run = Json::object();
+  run.set("app", std::string(app));
+  // Merge the standard serialization, then caller extras (which by
+  // convention use their own keys and so never shadow standard fields).
+  const Json standard = obs::to_json(r);
+  for (const auto& [k, v] : standard.items()) run.set(k, v);
+  if (extra.is_object())
+    for (const auto& [k, v] : extra.items()) run.set(k, v);
+  runs_.push_back(std::move(run));
+}
+
+void MetricsReport::add_table(std::string name, const TablePrinter& t) {
+  tables_.set(std::move(name), table_to_json(t));
+}
+
+void MetricsReport::set_field(std::string key, Json value) {
+  extras_.set(std::move(key), std::move(value));
+}
+
+Json MetricsReport::to_json() const {
+  Json root = Json::object();
+  root.set("schema_version", kMetricsSchemaVersion);
+  root.set("tool", tool_);
+  for (const auto& [k, v] : extras_.items()) root.set(k, v);
+  Json runs = Json::array();
+  for (const Json& r : runs_) runs.push_back(r);
+  root.set("runs", std::move(runs));
+  if (tables_.size() > 0) root.set("tables", tables_);
+  return root;
+}
+
+bool MetricsReport::write_file(const std::string& path,
+                               std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  to_json().write(out, 2);
+  out << '\n';
+  if (!out.good()) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+OutputOptions OutputOptions::from_args(int& argc, char** argv) {
+  OutputOptions o;
+  if (const char* env = std::getenv("SEPO_METRICS_OUT")) o.metrics_path = env;
+  if (const char* env = std::getenv("SEPO_TRACE_OUT")) o.trace_path = env;
+
+  auto match = [](const char* arg, const char* flag,
+                  std::string* out) -> int {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(arg, flag, len) != 0) return 0;
+    if (arg[len] == '=') {
+      *out = arg + len + 1;
+      return 1;  // consumed this token
+    }
+    if (arg[len] == '\0') return 2;  // value is the next token
+    return 0;
+  };
+
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string* dest = nullptr;
+    int kind = match(argv[i], "--metrics-out", &o.metrics_path);
+    if (kind) {
+      dest = &o.metrics_path;
+    } else {
+      kind = match(argv[i], "--trace-out", &o.trace_path);
+      if (kind) dest = &o.trace_path;
+    }
+    if (kind == 2 && dest) {
+      if (i + 1 < argc) {
+        *dest = argv[++i];
+      } else {
+        std::fprintf(stderr, "%s requires a FILE argument\n", argv[i]);
+      }
+      continue;
+    }
+    if (kind == 1) continue;
+    argv[w++] = argv[i];
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return o;
+}
+
+}  // namespace sepo::obs

@@ -1,0 +1,97 @@
+// Machine-readable metrics export (DESIGN.md "Telemetry & tracing",
+// EXPERIMENTS.md "BENCH_*.json").
+//
+// Serializes the measurement types the harness produces — counter
+// snapshots, PCIe meters, serialization inputs, the GPU time breakdown,
+// per-iteration SEPO profiles, and whole RunResults — into a stable JSON
+// schema, so benches and the CLI can emit reports that are diffable across
+// PRs (sepo_cli metrics-diff) instead of only human-readable tables.
+//
+// Schema sketch (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "tool": "fig6_speedup",
+//     "runs": [
+//       { "app": "...", "impl": "sepo-gpu", "sim_seconds": ...,
+//         "wall_seconds_host": ..., "iterations": N, "keys": N,
+//         "table_bytes": N, "heap_bytes": N, "checksum_hex": "....",
+//         "stats": { <one field per RunStats counter> },
+//         "pcie": {...}, "serialization": {...}, "gpu_breakdown": {...},
+//         "iteration_profiles": [ {...}, ... ],
+//         "bucket_histogram": [N, ...], ...caller extras... }
+//     ],
+//     "tables": { "<name>": [ {<header>: <cell>, ...}, ... ] }
+//   }
+//
+// Counter fields are generated from SEPO_STATS_FIELDS, so the serializer
+// cannot drift from the counter set.
+#pragma once
+
+#include <string>
+
+#include "apps/harness.hpp"
+#include "common/table_printer.hpp"
+#include "core/iteration_profile.hpp"
+#include "obs/json.hpp"
+
+namespace sepo::obs {
+
+inline constexpr int kMetricsSchemaVersion = 1;
+
+[[nodiscard]] Json to_json(const gpusim::StatsSnapshot& s);
+[[nodiscard]] Json to_json(const gpusim::PcieSnapshot& p);
+[[nodiscard]] Json to_json(const gpusim::SerializationInputs& s);
+[[nodiscard]] Json to_json(const gpusim::GpuTimeBreakdown& b);
+[[nodiscard]] Json to_json(const core::IterationProfile& p);
+[[nodiscard]] Json to_json(const apps::RunResult& r);
+
+// Rows of a TablePrinter as an array of {header: cell} objects — the CSV/
+// JSON passthrough that keeps printed bench tables and metrics files from
+// diverging.
+[[nodiscard]] Json table_to_json(const TablePrinter& t);
+
+// Accumulates runs (and optional rendered tables) and writes one metrics
+// file. `extra` lets callers attach context (dataset, input_bytes, ...) to
+// a run; extras merge into the run object after the standard fields.
+class MetricsReport {
+ public:
+  explicit MetricsReport(std::string tool) : tool_(std::move(tool)) {}
+
+  void add_run(std::string_view app, const apps::RunResult& r,
+               Json extra = Json());
+  void add_table(std::string name, const TablePrinter& t);
+  void set_field(std::string key, Json value);  // top-level extras
+
+  [[nodiscard]] std::size_t run_count() const noexcept {
+    return runs_.size();
+  }
+  [[nodiscard]] Json to_json() const;
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  std::string tool_;
+  Json::Array runs_;
+  Json tables_ = Json::object();
+  Json extras_ = Json::object();
+};
+
+// Output destinations from argv + environment. Recognized and *removed*
+// from argv (so existing option parsers never see them):
+//   --metrics-out=FILE | --metrics-out FILE   (else $SEPO_METRICS_OUT)
+//   --trace-out=FILE   | --trace-out FILE     (else $SEPO_TRACE_OUT)
+// An empty path means disabled.
+struct OutputOptions {
+  std::string metrics_path;
+  std::string trace_path;
+
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return !metrics_path.empty();
+  }
+  [[nodiscard]] bool trace_enabled() const noexcept {
+    return !trace_path.empty();
+  }
+
+  static OutputOptions from_args(int& argc, char** argv);
+};
+
+}  // namespace sepo::obs

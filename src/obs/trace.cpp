@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "gpusim/counters.hpp"
+
+namespace sepo::obs {
+
+namespace {
+constexpr double kUs = 1e6;
+}  // namespace
+
+void TraceRecorder::begin_section(const std::string& name) {
+  std::lock_guard lock(mu_);
+  flush_pending_remote_locked();
+  const double now = std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
+  instants_.emplace_back(now * kUs, name);
+}
+
+void TraceRecorder::on_kernel(const gpusim::StatsSnapshot& delta,
+                              std::size_t n_items) {
+  std::lock_guard lock(mu_);
+  // A kernel cannot start before its input chunk finished staging, nor while
+  // a heap flush halts computation (t_kernel_ was pushed by on_d2h).
+  const double start = std::max(t_kernel_, last_h2d_end_);
+  const double dur = gpusim::compute_time(cfg_.machine, delta);
+  t_kernel_ = start + dur;
+  spans_.push_back({kTrackKernel, "kernel", start * kUs, dur * kUs,
+                    static_cast<std::uint64_t>(n_items), delta.work_units});
+  flush_pending_remote_locked();
+}
+
+void TraceRecorder::on_h2d(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  // Staging overlaps compute but queues behind other bus work of the same
+  // direction and behind an in-flight flush.
+  const double start = std::max(t_h2d_, t_d2h_);
+  const double dur = pricing_.bulk_time(bytes, 1);
+  t_h2d_ = start + dur;
+  last_h2d_end_ = t_h2d_;
+  spans_.push_back({kTrackH2d, "h2d copy", start * kUs, dur * kUs, bytes, 0});
+}
+
+void TraceRecorder::on_d2h(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  // Heap flushes halt computation (paper §IV-C): the copy waits for the
+  // compute track, and the compute track waits for the copy.
+  const double start = std::max(t_d2h_, t_kernel_);
+  const double dur = pricing_.bulk_time(bytes, 1);
+  t_d2h_ = start + dur;
+  t_kernel_ = std::max(t_kernel_, t_d2h_);
+  if (flush_start_ < 0) flush_start_ = start;
+  spans_.push_back({kTrackD2h, "d2h copy", start * kUs, dur * kUs, bytes, 0});
+}
+
+void TraceRecorder::on_remote(std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  pending_remote_bytes_ += bytes;
+  ++pending_remote_txns_;
+}
+
+void TraceRecorder::flush_pending_remote_locked() {
+  if (pending_remote_txns_ == 0) return;
+  // Remote accesses serialize with the issuing warps: the aggregate span
+  // starts after the kernel interval that produced it and pushes compute.
+  const double start = std::max(t_remote_, t_kernel_);
+  const double dur =
+      pricing_.remote_time(pending_remote_bytes_, pending_remote_txns_);
+  t_remote_ = start + dur;
+  t_kernel_ = std::max(t_kernel_, t_remote_);
+  spans_.push_back({kTrackRemote, "remote access", start * kUs, dur * kUs,
+                    pending_remote_bytes_, pending_remote_txns_});
+  pending_remote_bytes_ = pending_remote_txns_ = 0;
+}
+
+void TraceRecorder::on_flush(std::uint64_t pages, std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  const double start = flush_start_ >= 0 ? flush_start_ : t_d2h_;
+  spans_.push_back({kTrackFlush, "heap flush", start * kUs,
+                    (t_d2h_ - start) * kUs, pages, bytes});
+  flush_start_ = -1;
+}
+
+void TraceRecorder::on_iteration_begin(std::uint32_t) {
+  std::lock_guard lock(mu_);
+  flush_pending_remote_locked();
+  iter_start_ = std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
+}
+
+void TraceRecorder::on_iteration_end(std::uint32_t iteration) {
+  std::lock_guard lock(mu_);
+  flush_pending_remote_locked();
+  const double end = std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
+  spans_.push_back({kTrackIteration,
+                    "iteration " + std::to_string(iteration),
+                    iter_start_ * kUs, (end - iter_start_) * kUs, iteration,
+                    0});
+  iter_start_ = end;
+}
+
+double TraceRecorder::timeline_end_seconds() const {
+  std::lock_guard lock(mu_);
+  return std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
+}
+
+Json TraceRecorder::trace_json() const {
+  std::lock_guard lock(mu_);
+  Json events = Json::array();
+
+  auto meta = [&events](const char* what, int tid, const std::string& name) {
+    Json args = Json::object();
+    args.set("name", name);
+    Json e = Json::object();
+    e.set("ph", "M").set("pid", 1).set("tid", tid).set("name", what);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  };
+  meta("process_name", 0, "sepo virtual device (simulated time)");
+  meta("thread_name", kTrackKernel, "kernel compute");
+  meta("thread_name", kTrackH2d, "pcie h2d (input staging)");
+  meta("thread_name", kTrackD2h, "pcie d2h (page copies)");
+  meta("thread_name", kTrackFlush, "heap flush");
+  meta("thread_name", kTrackRemote, "remote access (pinned)");
+  meta("thread_name", kTrackIteration, "sepo iteration");
+
+  for (const auto& [ts, name] : instants_) {
+    Json e = Json::object();
+    e.set("ph", "i").set("pid", 1).set("tid", kTrackIteration);
+    e.set("name", name).set("ts", ts).set("s", "g");
+    events.push_back(std::move(e));
+  }
+
+  for (const Span& s : spans_) {
+    Json args = Json::object();
+    switch (s.track) {
+      case kTrackKernel:
+        args.set("items", s.arg0).set("work_units", s.arg1);
+        break;
+      case kTrackH2d:
+      case kTrackD2h:
+        args.set("bytes", s.arg0);
+        break;
+      case kTrackFlush:
+        args.set("pages", s.arg0).set("bytes", s.arg1);
+        break;
+      case kTrackRemote:
+        args.set("bytes", s.arg0).set("txns", s.arg1);
+        break;
+      case kTrackIteration:
+        args.set("iteration", s.arg0);
+        break;
+      default: break;
+    }
+    Json e = Json::object();
+    e.set("ph", "X").set("pid", 1).set("tid", s.track).set("name", s.name);
+    e.set("ts", s.ts_us).set("dur", s.dur_us).set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
+
+  Json root = Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  root.set("otherData",
+           Json::object().set("clock", "simulated (DESIGN.md §5 cost model)"));
+  return root;
+}
+
+bool TraceRecorder::write_file(const std::string& path,
+                               std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  trace_json().write(out, 1);
+  out << '\n';
+  if (!out.good()) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sepo::obs

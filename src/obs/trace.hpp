@@ -1,0 +1,127 @@
+// Chrome trace_event recorder on the *simulated* clock (DESIGN.md
+// "Telemetry & tracing").
+//
+// The simulator derives time from event counts, so traces are priced, not
+// measured: each device event reported through gpusim::TraceHook (kernel
+// counter delta, bus transfer) is converted to a duration with the same
+// MachineDesc / PcieParams arithmetic the cost model uses, and laid onto
+// per-resource timelines mirroring the §IV/§V serialization rules —
+//
+//   * kernel compute     one track; kernel k waits for the h2d of its chunk
+//                        (BigKernel dependency) and for any flush in flight,
+//   * pcie h2d           overlaps compute (the pipeline's double-buffering),
+//   * pcie d2h           heap flushes halt computation (paper §IV-C), so a
+//                        d2h span pushes the compute cursor forward,
+//   * heap flush         one span per SepoHashTable flush, grouping its d2h
+//                        page copies,
+//   * remote access      pinned-baseline accesses, serial with compute,
+//   * sepo iteration     one span per driver iteration (from the hook's
+//                        iteration markers).
+//
+// The resulting file loads in Perfetto / about://tracing. Span totals track
+// the analytic model closely but the headline number remains the cost
+// model's sim_seconds: the trace exists to make overlap/serialization
+// *structure* inspectable, not to re-derive the scalar.
+//
+// Recording never mutates counters, so simulated results are bit-identical
+// with or without a recorder attached.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/pcie.hpp"
+#include "gpusim/trace_hook.hpp"
+#include "obs/json.hpp"
+
+namespace sepo::gpusim {
+class RunStats;
+}  // namespace sepo::gpusim
+
+namespace sepo::obs {
+
+struct TraceConfig {
+  gpusim::MachineDesc machine = gpusim::kGpuDesc;
+  gpusim::PcieParams pcie = {};
+};
+
+class TraceRecorder final : public gpusim::TraceHook {
+ public:
+  // Track ids (Chrome "tid"); also the display order in Perfetto.
+  enum Track : int {
+    kTrackKernel = 1,
+    kTrackH2d = 2,
+    kTrackD2h = 3,
+    kTrackFlush = 4,
+    kTrackRemote = 5,
+    kTrackIteration = 6,
+  };
+
+  struct Span {
+    int track = 0;
+    std::string name;
+    double ts_us = 0;   // simulated start, microseconds
+    double dur_us = 0;  // simulated duration, microseconds
+    std::uint64_t arg0 = 0, arg1 = 0;  // meaning depends on the track
+  };
+
+  explicit TraceRecorder(TraceConfig cfg = {})
+      : cfg_(cfg), pricing_(cfg.pcie) {}
+
+  // Convenience: install this recorder on a run's counters and bus.
+  void attach(gpusim::RunStats& stats, gpusim::PcieBus& bus) {
+    stats.set_trace_hook(this);
+    bus.set_trace_hook(this);
+  }
+
+  // Labels subsequent spans' iteration markers etc. with a section name
+  // (benches tracing several runs into one timeline call this per run; the
+  // label is emitted as an instant event).
+  void begin_section(const std::string& name);
+
+  // --- gpusim::TraceHook ---
+  void on_kernel(const gpusim::StatsSnapshot& delta,
+                 std::size_t n_items) override;
+  void on_h2d(std::uint64_t bytes) override;
+  void on_d2h(std::uint64_t bytes) override;
+  void on_remote(std::uint64_t bytes) override;
+  void on_flush(std::uint64_t pages, std::uint64_t bytes) override;
+  void on_iteration_begin(std::uint32_t iteration) override;
+  void on_iteration_end(std::uint32_t iteration) override;
+
+  // --- output ---
+  [[nodiscard]] Json trace_json() const;  // {"traceEvents": [...], ...}
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+  // Introspection for tests.
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept {
+    return spans_;
+  }
+  // Simulated end of the busiest timeline, seconds.
+  [[nodiscard]] double timeline_end_seconds() const;
+
+ private:
+  void flush_pending_remote_locked();
+
+  TraceConfig cfg_;
+  gpusim::PcieBus pricing_;  // used only for its time arithmetic
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<std::pair<double, std::string>> instants_;  // section labels
+
+  // Per-track "free from" cursors, simulated seconds.
+  double t_kernel_ = 0, t_h2d_ = 0, t_d2h_ = 0, t_remote_ = 0;
+  double last_h2d_end_ = 0;    // BigKernel dependency for the next kernel
+  double flush_start_ = -1;    // first d2h of the current flush group
+  double iter_start_ = 0;      // set by on_iteration_begin
+
+  // Remote accesses arrive per-word from inside kernels; coalesce them into
+  // one span per kernel interval instead of millions of events.
+  std::uint64_t pending_remote_bytes_ = 0, pending_remote_txns_ = 0;
+};
+
+}  // namespace sepo::obs

@@ -90,6 +90,25 @@ TEST(CombiningTest, CombineCountersAreRecorded) {
   EXPECT_EQ(s.hash_ops, 10u);
 }
 
+TEST(CombiningTest, ResidentChainHistogramCoversEntries) {
+  Rig rig(8u << 20);
+  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+                   small_cfg(Organization::kCombining));
+  ht.begin_iteration();
+  for (int i = 0; i < 200; ++i)
+    ASSERT_EQ(ht.insert_u64("key" + std::to_string(i), 1), Status::kSuccess);
+  // Captured mid-iteration: end_iteration flushes pages and empties chains.
+  const auto hist = ht.resident_chain_histogram();
+  ASSERT_FALSE(hist.empty());
+  std::uint64_t buckets = 0, entries = 0;
+  for (std::size_t len = 0; len < hist.size(); ++len) {
+    buckets += hist[len];
+    entries += hist[len] * len;  // last bin aggregates: lower bound
+  }
+  EXPECT_EQ(buckets, (1u << 10));  // every bucket accounted for
+  EXPECT_EQ(entries, 200u);        // all chains shorter than the last bin
+}
+
 TEST(BasicTest, DuplicateKeysKeptSeparately) {
   Rig rig(8u << 20);
   SepoHashTable ht(rig.dev, rig.pool, rig.stats,

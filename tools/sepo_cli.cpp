@@ -8,16 +8,23 @@
 //   sepo_cli run --app wc --impl phoenix --bytes 2097152 --seed 7
 //   sepo_cli run --app netflix --impl gpu --device-kb 2048 --csv
 //   sepo_cli compare --app dna --dataset 2        # gpu vs cpu, digests
+//   sepo_cli run --app wc --impl gpu --metrics-out=m.json --trace-out=t.json
+//   sepo_cli metrics-check BENCH_fig6.json        # schema validation
+//   sepo_cli metrics-diff old.json new.json --max-regress-pct 5
 //
 // Exit status: 0 on success, 1 on usage error, 2 on run failure (e.g. MapCG
-// out of device memory).
+// out of device memory) or invalid/unreadable metrics file; metrics-diff
+// additionally exits 3 when sim_seconds regressed beyond the threshold.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "apps/datagen.hpp"
@@ -25,6 +32,8 @@
 #include "apps/standalone_app.hpp"
 #include "baselines/mapcg.hpp"
 #include "common/table_printer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sepo;
 using namespace sepo::apps;
@@ -50,6 +59,9 @@ void usage() {
                "  list                       list applications and implementations\n"
                "  run --app A --impl I       run one application\n"
                "  compare --app A            run gpu vs cpu baseline, verify digests\n"
+               "  metrics-check FILE         validate a metrics JSON file\n"
+               "  metrics-diff OLD NEW       compare two metrics files; exits 3 when\n"
+               "                             sim_seconds regressed > --max-regress-pct\n"
                "options:\n"
                "  --app A          pvc | ii | dna | netflix | wc | pc | geo\n"
                "  --impl I         gpu | cpu | pinned   (standalone apps)\n"
@@ -59,7 +71,12 @@ void usage() {
                "  --seed S         generator seed (default 42)\n"
                "  --device-kb N    simulated device memory (default 4096)\n"
                "  --threads N      CPU baseline threads (default 8)\n"
-               "  --csv            machine-readable output\n");
+               "  --csv            machine-readable output\n"
+               "  --max-regress-pct X   metrics-diff threshold (default 5)\n"
+               "telemetry (run/compare; also via environment):\n"
+               "  --metrics-out FILE    write metrics JSON ($SEPO_METRICS_OUT)\n"
+               "  --trace-out FILE      write Chrome trace JSON, GPU impls only\n"
+               "                        ($SEPO_TRACE_OUT)\n");
 }
 
 bool is_mr_app(const std::string& app) {
@@ -132,7 +149,7 @@ std::optional<Options> parse(int argc, char** argv) {
 void print_result(const Options& o, const RunResult& r) {
   if (o.csv) {
     std::printf("app,impl,iterations,keys,table_bytes,heap_bytes,sim_ms,"
-                "wall_ms,checksum\n");
+                "wall_ms_host,checksum\n");
     std::printf("%s,%s,%u,%llu,%llu,%llu,%.6f,%.3f,%016llx\n", o.app.c_str(),
                 r.impl.c_str(), r.iterations,
                 static_cast<unsigned long long>(r.keys),
@@ -189,7 +206,43 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_run(const Options& o) {
+// Writes telemetry files requested via --metrics-out / --trace-out; returns
+// false (after printing) when a file could not be written.
+bool write_outputs(const obs::OutputOptions& out, const obs::MetricsReport& report,
+                   const obs::TraceRecorder* rec) {
+  std::string err;
+  if (out.metrics_enabled()) {
+    if (!report.write_file(out.metrics_path, &err)) {
+      std::fprintf(stderr, "metrics: %s\n", err.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", out.metrics_path.c_str());
+  }
+  if (out.trace_enabled()) {
+    if (!rec) {
+      std::fprintf(stderr,
+                   "trace: no simulated-device activity recorded "
+                   "(--trace-out applies to gpu/pinned/mapcg impls)\n");
+    } else if (!rec->write_file(out.trace_path, &err)) {
+      std::fprintf(stderr, "trace: %s\n", err.c_str());
+      return false;
+    } else {
+      std::fprintf(stderr, "trace written to %s\n", out.trace_path.c_str());
+    }
+  }
+  return true;
+}
+
+obs::Json run_extra(const Options& o, std::size_t bytes) {
+  obs::Json extra = obs::Json::object();
+  extra.set("dataset", o.dataset);
+  extra.set("input_bytes", static_cast<std::uint64_t>(bytes));
+  extra.set("seed", o.seed);
+  extra.set("device_bytes", static_cast<std::uint64_t>(o.device_kb << 10));
+  return extra;
+}
+
+int cmd_run(const Options& o, const obs::OutputOptions& out) {
   const char* key = is_mr_app(o.app) ? mr_app(o.app)->table1_key
                     : standalone_app(o.app) ? standalone_app(o.app)->table1_key()
                                             : nullptr;
@@ -204,13 +257,20 @@ int cmd_run(const Options& o) {
   CpuConfig ccfg;
   ccfg.num_threads = o.threads;
 
+  const bool gpu_impl = o.impl == "gpu" || o.impl == "pinned" || o.impl == "mapcg";
+  std::unique_ptr<obs::TraceRecorder> rec;
+  if (out.trace_enabled() && gpu_impl) {
+    rec = std::make_unique<obs::TraceRecorder>();
+    gcfg.trace = rec.get();
+  }
+
   try {
+    RunResult r;
     if (is_mr_app(o.app)) {
       const MrApp& app = *mr_app(o.app);
       std::fprintf(stderr, "generating %s of input...\n",
                    TablePrinter::fmt_bytes(bytes).c_str());
       const std::string input = app.generate(bytes, o.seed);
-      RunResult r;
       if (o.impl == "gpu")
         r = run_mr_sepo(app, input, gcfg);
       else if (o.impl == "phoenix")
@@ -222,13 +282,11 @@ int cmd_run(const Options& o) {
                      o.impl.c_str());
         return 1;
       }
-      print_result(o, r);
     } else {
       const auto app = standalone_app(o.app);
       std::fprintf(stderr, "generating %s of input...\n",
                    TablePrinter::fmt_bytes(bytes).c_str());
       const std::string input = app->generate(bytes, o.seed);
-      RunResult r;
       if (o.impl == "gpu")
         r = app->run_gpu(input, gcfg);
       else if (o.impl == "cpu")
@@ -240,8 +298,11 @@ int cmd_run(const Options& o) {
                      o.impl.c_str());
         return 1;
       }
-      print_result(o, r);
     }
+    print_result(o, r);
+    obs::MetricsReport report("sepo_cli");
+    report.add_run(o.app, r, run_extra(o, bytes));
+    if (!write_outputs(out, report, rec.get())) return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run failed: %s\n", e.what());
     return 2;
@@ -249,29 +310,29 @@ int cmd_run(const Options& o) {
   return 0;
 }
 
-int cmd_compare(const Options& o) {
-  Options a = o, b = o;
-  a.impl = "gpu";
-  b.impl = is_mr_app(o.app) ? "phoenix" : "cpu";
-  std::printf("== %s: gpu vs %s ==\n", o.app.c_str(), b.impl.c_str());
+int cmd_compare(const Options& o, const obs::OutputOptions& out) {
+  const std::string b_impl = is_mr_app(o.app) ? "phoenix" : "cpu";
+  std::printf("== %s: gpu vs %s ==\n", o.app.c_str(), b_impl.c_str());
   const char* key = is_mr_app(o.app)
                         ? mr_app(o.app)->table1_key
                         : standalone_app(o.app)->table1_key();
   const std::size_t bytes = o.bytes ? o.bytes : table1_bytes(key, o.dataset);
+  std::unique_ptr<obs::TraceRecorder> rec;
+  if (out.trace_enabled()) rec = std::make_unique<obs::TraceRecorder>();
   try {
     RunResult ra, rb;
+    GpuConfig gcfg;
+    gcfg.device_bytes = o.device_kb << 10;
+    gcfg.trace = rec.get();
+    if (rec) rec->begin_section(o.app + "/gpu");
     if (is_mr_app(o.app)) {
       const MrApp& app = *mr_app(o.app);
       const std::string input = app.generate(bytes, o.seed);
-      GpuConfig gcfg;
-      gcfg.device_bytes = o.device_kb << 10;
       ra = run_mr_sepo(app, input, gcfg);
       rb = run_mr_phoenix(app, input, {.num_threads = o.threads});
     } else {
       const auto app = standalone_app(o.app);
       const std::string input = app->generate(bytes, o.seed);
-      GpuConfig gcfg;
-      gcfg.device_bytes = o.device_kb << 10;
       ra = app->run_gpu(input, gcfg);
       rb = app->run_cpu(input, {.num_threads = o.threads});
     }
@@ -281,6 +342,11 @@ int cmd_compare(const Options& o) {
     std::printf("speedup: %.2fx\n", rb.sim_seconds / ra.sim_seconds);
     std::printf("digests: %s\n",
                 ra.checksum == rb.checksum ? "MATCH" : "MISMATCH");
+    obs::MetricsReport report("sepo_cli");
+    report.add_run(o.app, ra, run_extra(o, bytes));
+    report.add_run(o.app, rb, run_extra(o, bytes));
+    report.set_field("digest_match", ra.checksum == rb.checksum);
+    if (!write_outputs(out, report, rec.get())) return 2;
     return ra.checksum == rb.checksum ? 0 : 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run failed: %s\n", e.what());
@@ -288,17 +354,164 @@ int cmd_compare(const Options& o) {
   }
 }
 
+// --- metrics file commands -------------------------------------------------
+
+std::optional<obs::Json> load_metrics(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  auto json = obs::Json::parse(buf.str(), &err);
+  if (!json) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+    return std::nullopt;
+  }
+  return json;
+}
+
+// Validates the metrics schema written by obs::MetricsReport. Returns a list
+// of problems (empty = valid).
+std::vector<std::string> check_metrics(const obs::Json& m) {
+  std::vector<std::string> problems;
+  if (m["schema_version"].as_i64() != obs::kMetricsSchemaVersion)
+    problems.push_back("schema_version missing or not " +
+                       std::to_string(obs::kMetricsSchemaVersion));
+  if (!m["tool"].is_string()) problems.push_back("tool missing");
+  const obs::Json& runs = m["runs"];
+  if (!runs.is_array() || runs.size() == 0) {
+    problems.push_back("runs missing or empty");
+    return problems;
+  }
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const obs::Json& r = runs.at(i);
+    const std::string where = "runs[" + std::to_string(i) + "]";
+    if (!r["app"].is_string()) problems.push_back(where + ".app missing");
+    if (!r["impl"].is_string()) problems.push_back(where + ".impl missing");
+    if (!r["sim_seconds"].is_number() || r["sim_seconds"].as_double() <= 0)
+      problems.push_back(where + ".sim_seconds missing or non-positive");
+    if (!r["wall_seconds_host"].is_number())
+      problems.push_back(where + ".wall_seconds_host missing");
+    if (r["checksum_hex"].as_string().size() != 16)
+      problems.push_back(where + ".checksum_hex not 16 hex digits");
+    const obs::Json& stats = r["stats"];
+    if (!stats.is_object()) {
+      problems.push_back(where + ".stats missing");
+    } else {
+      // The counter set is generated from SEPO_STATS_FIELDS; require every
+      // field so a drifted serializer cannot pass.
+      gpusim::StatsSnapshot{}.for_each_field(
+          [&](const char* name, std::uint64_t) {
+            if (!stats[name].is_number())
+              problems.push_back(where + ".stats." + name + " missing");
+          });
+    }
+    for (const char* k : {"pcie", "serialization", "gpu_breakdown"})
+      if (!r[k].is_object())
+        problems.push_back(where + "." + k + " missing");
+    if (!r["iteration_profiles"].is_array())
+      problems.push_back(where + ".iteration_profiles missing");
+  }
+  return problems;
+}
+
+int cmd_metrics_check(const std::string& path) {
+  const auto m = load_metrics(path);
+  if (!m) return 2;
+  const auto problems = check_metrics(*m);
+  for (const auto& p : problems)
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+  if (!problems.empty()) return 2;
+  std::printf("%s: ok (%zu runs, tool %s)\n", path.c_str(),
+              (*m)["runs"].size(), (*m)["tool"].as_string().c_str());
+  return 0;
+}
+
+int cmd_metrics_diff(const std::string& old_path, const std::string& new_path,
+                     double max_regress_pct) {
+  const auto older = load_metrics(old_path);
+  const auto newer = load_metrics(new_path);
+  if (!older || !newer) return 2;
+
+  // Baseline sim_seconds by (app, impl); first occurrence wins.
+  std::map<std::string, double> base;
+  for (const auto& r : (*older)["runs"].elements()) {
+    const std::string k = r["app"].as_string() + "/" + r["impl"].as_string();
+    base.emplace(k, r["sim_seconds"].as_double());
+  }
+
+  TablePrinter table({"run", "old sim_ms", "new sim_ms", "delta %"});
+  bool regressed = false;
+  std::size_t matched = 0;
+  for (const auto& r : (*newer)["runs"].elements()) {
+    const std::string k = r["app"].as_string() + "/" + r["impl"].as_string();
+    const auto it = base.find(k);
+    if (it == base.end()) {
+      table.add_row({k, "-", TablePrinter::fmt(r["sim_seconds"].as_double() * 1e3, 3),
+                     "new"});
+      continue;
+    }
+    ++matched;
+    const double o = it->second, n = r["sim_seconds"].as_double();
+    const double pct = o > 0 ? (n - o) / o * 100.0 : 0.0;
+    if (pct > max_regress_pct) regressed = true;
+    table.add_row({k, TablePrinter::fmt(o * 1e3, 3), TablePrinter::fmt(n * 1e3, 3),
+                   TablePrinter::fmt(pct, 2)});
+  }
+  table.print(std::cout);
+  if (matched == 0) {
+    std::fprintf(stderr, "no (app, impl) pairs in common\n");
+    return 2;
+  }
+  if (regressed) {
+    std::fprintf(stderr, "sim_seconds regression beyond %.1f%%\n",
+                 max_regress_pct);
+    return 3;
+  }
+  std::printf("ok: no sim_seconds regression beyond %.1f%%\n", max_regress_pct);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
+
+  // The metrics file commands take positional paths, not run options.
+  if (argc >= 2 && std::strcmp(argv[1], "metrics-check") == 0) {
+    if (argc != 3) {
+      usage();
+      return 1;
+    }
+    return cmd_metrics_check(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "metrics-diff") == 0) {
+    double max_regress_pct = 5.0;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--max-regress-pct") == 0 && i + 1 < argc)
+        max_regress_pct = std::atof(argv[++i]);
+      else
+        paths.emplace_back(argv[i]);
+    }
+    if (paths.size() != 2) {
+      usage();
+      return 1;
+    }
+    return cmd_metrics_diff(paths[0], paths[1], max_regress_pct);
+  }
+
   const auto opts = parse(argc, argv);
   if (!opts) {
     usage();
     return 1;
   }
   if (opts->command == "list") return cmd_list();
-  if (opts->command == "run") return cmd_run(*opts);
-  if (opts->command == "compare") return cmd_compare(*opts);
+  if (opts->command == "run") return cmd_run(*opts, out);
+  if (opts->command == "compare") return cmd_compare(*opts, out);
   usage();
   return 1;
 }

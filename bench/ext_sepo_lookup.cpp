@@ -39,13 +39,14 @@ int main() {
   gpusim::Device build_dev(4u << 20);
   gpusim::ThreadPool pool;
   gpusim::RunStats build_stats;
+  gpusim::ExecContext build_ctx(build_dev, pool, build_stats);
   const RecordIndex idx = index_lines(input);
   bigkernel::PipelineConfig pcfg;
   choose_chunking(idx, GpuConfig{}, pcfg);
-  bigkernel::InputPipeline pipe(build_dev, pool, build_stats, pcfg);
+  bigkernel::InputPipeline pipe(build_ctx, pcfg);
   core::HashTableConfig tcfg;
   tcfg.combiner = core::combine_sum_u64;
-  core::SepoHashTable ht(build_dev, pool, build_stats, tcfg);
+  core::SepoHashTable ht(build_ctx, tcfg);
   ProgressTracker progress(idx.size());
   core::SepoDriver driver;
   (void)driver.run(ht, pipe, input, idx, progress,
@@ -72,7 +73,8 @@ int main() {
   for (const std::size_t batch : {100u, 1000u, 10000u, 40000u}) {
     gpusim::Device dev(512u << 10);
     gpusim::RunStats stats;
-    core::SepoLookupEngine engine(dev, pool, stats, table);
+    gpusim::ExecContext ctx(dev, pool, stats);
+    core::SepoLookupEngine engine(ctx, table);
 
     std::vector<std::string> queries;
     queries.reserve(batch);

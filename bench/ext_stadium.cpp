@@ -47,7 +47,9 @@ RunResult run_stadium(const StandaloneApp& app, std::string_view input) {
   WallTimer timer;
   gpusim::Device dev(8u << 20);  // the index needs headroom: 8 MiB device
   gpusim::RunStats stats;
-  baselines::StadiumHashTable table(dev, stats, {.num_buckets = 1u << 14});
+  gpusim::ThreadPool pool(1);
+  gpusim::ExecContext ctx(dev, pool, stats);
+  baselines::StadiumHashTable table(ctx, {.num_buckets = 1u << 14});
   StadiumEmitter em(table);
   const RecordIndex idx = index_lines(input);
   // Input still streams through staged chunks; meter it as one bulk pass.

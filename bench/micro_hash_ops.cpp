@@ -34,10 +34,11 @@ void BM_SepoInsertCombining(benchmark::State& state) {
     gpusim::Device dev(16u << 20);
     gpusim::ThreadPool pool(1);
     gpusim::RunStats stats;
+    gpusim::ExecContext ctx(dev, pool, stats);
     core::HashTableConfig cfg;
     cfg.combiner = core::combine_sum_u64;
     cfg.num_buckets = 1u << 14;
-    core::SepoHashTable ht(dev, pool, stats, cfg);
+    core::SepoHashTable ht(ctx, cfg);
     state.ResumeTiming();
     for (const auto& k : keys) benchmark::DoNotOptimize(ht.insert_u64(k, 1));
   }
@@ -53,10 +54,11 @@ void BM_SepoInsertBasic(benchmark::State& state) {
     gpusim::Device dev(16u << 20);
     gpusim::ThreadPool pool(1);
     gpusim::RunStats stats;
+    gpusim::ExecContext ctx(dev, pool, stats);
     core::HashTableConfig cfg;
     cfg.org = core::Organization::kBasic;
     cfg.num_buckets = 1u << 14;
-    core::SepoHashTable ht(dev, pool, stats, cfg);
+    core::SepoHashTable ht(ctx, cfg);
     state.ResumeTiming();
     for (const auto& k : keys) benchmark::DoNotOptimize(ht.insert_u64(k, 1));
   }
@@ -72,10 +74,11 @@ void BM_SepoInsertMultiValued(benchmark::State& state) {
     gpusim::Device dev(16u << 20);
     gpusim::ThreadPool pool(1);
     gpusim::RunStats stats;
+    gpusim::ExecContext ctx(dev, pool, stats);
     core::HashTableConfig cfg;
     cfg.org = core::Organization::kMultiValued;
     cfg.num_buckets = 1u << 14;
-    core::SepoHashTable ht(dev, pool, stats, cfg);
+    core::SepoHashTable ht(ctx, cfg);
     state.ResumeTiming();
     for (const auto& k : keys)
       benchmark::DoNotOptimize(
@@ -107,9 +110,10 @@ void BM_HostTableLookup(benchmark::State& state) {
   gpusim::Device dev(16u << 20);
   gpusim::ThreadPool pool(1);
   gpusim::RunStats stats;
+  gpusim::ExecContext ctx(dev, pool, stats);
   core::HashTableConfig cfg;
   cfg.combiner = core::combine_sum_u64;
-  core::SepoHashTable ht(dev, pool, stats, cfg);
+  core::SepoHashTable ht(ctx, cfg);
   const auto keys = make_keys(1u << 14, 1u << 12);
   ht.begin_iteration();
   for (const auto& k : keys) (void)ht.insert_u64(k, 1);

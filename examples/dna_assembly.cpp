@@ -22,6 +22,7 @@
 #include "core/sepo_driver.hpp"
 #include "core/sepo_lookup.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "mapreduce/sepo_emitter.hpp"
 
 namespace {
@@ -41,13 +42,14 @@ int main(int argc, char** argv) {
   gpusim::Device dev(4u << 20);
   gpusim::ThreadPool pool;
   gpusim::RunStats stats;
+  gpusim::ExecContext ctx(dev, pool, stats);
   const RecordIndex idx = index_lines(input);
   bigkernel::PipelineConfig pcfg;
   apps::choose_chunking(idx, apps::GpuConfig{}, pcfg);
-  bigkernel::InputPipeline pipe(dev, pool, stats, pcfg);
+  bigkernel::InputPipeline pipe(ctx, pcfg);
   core::HashTableConfig tcfg;
   tcfg.combiner = app.combiner();
-  core::SepoHashTable table(dev, pool, stats, tcfg);
+  core::SepoHashTable table(ctx, tcfg);
   ProgressTracker progress(idx.size(), /*multi_emit=*/true);
   core::SepoDriver driver;
   const core::DriverResult res = driver.run(
@@ -70,7 +72,8 @@ int main(int argc, char** argv) {
   // through a (smaller) device in segment-staged batches.
   gpusim::Device lookup_dev(1u << 20);
   gpusim::RunStats lookup_stats;
-  core::SepoLookupEngine engine(lookup_dev, pool, lookup_stats, kmers);
+  gpusim::ExecContext lookup_ctx(lookup_dev, pool, lookup_stats);
+  core::SepoLookupEngine engine(lookup_ctx, kmers);
   std::printf("phase 2: lookup engine with %u segments over %.2f MiB\n",
               engine.segment_count(),
               static_cast<double>(engine.serialized_bytes()) / (1 << 20));

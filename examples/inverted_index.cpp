@@ -14,6 +14,7 @@
 #include "common/strings.hpp"
 #include "core/sepo_driver.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "mapreduce/sepo_emitter.hpp"
 
 int main(int argc, char** argv) {
@@ -30,18 +31,19 @@ int main(int argc, char** argv) {
   gpusim::Device device(4u << 20);
   gpusim::ThreadPool pool;
   gpusim::RunStats stats;
+  gpusim::ExecContext ctx(device, pool, stats);
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
   apps::choose_chunking(index, apps::GpuConfig{}, pcfg);
-  bigkernel::InputPipeline pipe(device, pool, stats, pcfg);
+  bigkernel::InputPipeline pipe(ctx, pcfg);
 
   core::HashTableConfig tcfg;
   tcfg.org = core::Organization::kMultiValued;  // <link, [pages...]>
   tcfg.num_buckets = 1u << 14;
   tcfg.buckets_per_group = 512;
   tcfg.page_size = 8u << 10;
-  core::SepoHashTable table(device, pool, stats, tcfg);
+  core::SepoHashTable table(ctx, tcfg);
 
   ProgressTracker progress(index.size(), /*multi_emit=*/true);
   core::SepoDriver driver;

@@ -14,6 +14,7 @@
 
 #include "core/hash_table.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 
 int main() {
   using namespace sepo;
@@ -23,6 +24,7 @@ int main() {
   gpusim::Device device(256u << 10);
   gpusim::ThreadPool pool;
   gpusim::RunStats stats;
+  gpusim::ExecContext ctx(device, pool, stats);
 
   core::HashTableConfig cfg;
   cfg.org = core::Organization::kCombining;  // duplicate keys are summed
@@ -30,7 +32,7 @@ int main() {
   cfg.num_buckets = 1u << 10;
   cfg.buckets_per_group = 64;
   cfg.page_size = 4u << 10;
-  core::SepoHashTable table(device, pool, stats, cfg);
+  core::SepoHashTable table(ctx, cfg);
 
   std::printf("device: %zu KiB, heap: %zu KiB\n", device.capacity() >> 10,
               table.page_pool().heap_bytes() >> 10);

@@ -16,6 +16,7 @@
 #include "apps/mr_apps.hpp"
 #include "baselines/phoenix.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "mapreduce/runtime.hpp"
 
 int main(int argc, char** argv) {
@@ -31,10 +32,11 @@ int main(int argc, char** argv) {
   gpusim::Device device(4u << 20);
   gpusim::ThreadPool pool;
   gpusim::RunStats stats;
+  gpusim::ExecContext ctx(device, pool, stats);
   mapreduce::RuntimeConfig rcfg;
   // Size the staging ring to the input's record lengths and the device.
   apps::choose_chunking(index_lines(input), apps::GpuConfig{}, rcfg.pipeline);
-  mapreduce::MapReduceRuntime runtime(device, pool, stats, rcfg);
+  mapreduce::MapReduceRuntime runtime(ctx, rcfg);
   const mapreduce::RunOutcome out = runtime.run(input, wc.spec());
   std::printf("GPU MapReduce: %u SEPO iteration(s), %zu distinct words\n",
               out.driver.iterations, out.table->entry_count());

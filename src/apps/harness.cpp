@@ -33,4 +33,14 @@ double cpu_sim_seconds(const gpusim::StatsSnapshot& stats,
          gpusim::serialization_time(gpusim::kCpuDesc, serial);
 }
 
+void fill_gpu_times(RunResult& r, const gpusim::ExecContext& ctx,
+                    const gpusim::PcieBus& bus) {
+  r.sim_seconds_analytic =
+      gpu_sim_seconds(r.stats, bus, r.pcie, r.serial, &r.gpu_breakdown);
+  r.timeline = ctx.timeline().summary();
+  r.sim_seconds =
+      r.timeline.total +
+      gpusim::serialization_time(ctx.timeline().machine(), r.serial);
+}
+
 }  // namespace sepo::apps

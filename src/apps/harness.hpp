@@ -15,7 +15,9 @@
 #include "core/iteration_profile.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/counters.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/pcie.hpp"
+#include "gpusim/stream.hpp"
 #include "gpusim/trace_hook.hpp"
 
 namespace sepo::apps {
@@ -65,12 +67,20 @@ struct RunResult {
   std::uint64_t heap_bytes = 0;     // device heap the table had to fit in
   std::uint64_t checksum = 0;       // order-independent result digest
   std::uint64_t keys = 0;           // distinct keys (entries) in the result
-  double sim_seconds = 0;           // modelled time
+  // Modelled time. GPU paths: the discrete-event timeline's makespan plus
+  // the lock-serialization term; CPU paths: the analytic compute model.
+  double sim_seconds = 0;
+  // Cross-check for GPU paths: the legacy analytic total
+  // (max(compute, h2d) + d2h + remote, plus serialization). The timeline
+  // should land close to it — per-resource pricing is identical, only the
+  // admitted overlap differs. Equal to sim_seconds on CPU paths.
+  double sim_seconds_analytic = 0;
   // Host wall clock. Informational only: it depends on the simulation
   // host's hardware and load, unlike sim_seconds. Serialized and printed as
   // "wall_seconds_host" to keep that distinction visible.
   double wall_seconds = 0;
-  gpusim::GpuTimeBreakdown gpu_breakdown{};  // GPU paths only
+  gpusim::GpuTimeBreakdown gpu_breakdown{};  // GPU paths only (analytic)
+  gpusim::TimelineSummary timeline{};        // GPU paths only (scheduled)
   // Per-SEPO-iteration convergence profiles (SEPO paths; empty otherwise).
   core::IterationProfiles iteration_profiles;
   // Final-table bucket occupancy: [n] = buckets with n entries, last bin
@@ -117,12 +127,20 @@ template <typename Table>
   return sum;
 }
 
-// Simulated time for a GPU-side run.
+// Simulated time for a GPU-side run — legacy analytic model, kept as the
+// timeline's cross-check (and used by extensions without a timeline).
 [[nodiscard]] double gpu_sim_seconds(const gpusim::StatsSnapshot& stats,
                                      const gpusim::PcieBus& bus,
                                      const gpusim::PcieSnapshot& pcie,
                                      const gpusim::SerializationInputs& serial,
                                      gpusim::GpuTimeBreakdown* breakdown = nullptr);
+
+// Fills a GPU RunResult's time fields from a finished ExecContext:
+// sim_seconds from the timeline makespan + serialization, the analytic
+// total into sim_seconds_analytic / gpu_breakdown, and the timeline summary.
+// Requires r.stats, r.pcie and r.serial to be set already.
+void fill_gpu_times(RunResult& r, const gpusim::ExecContext& ctx,
+                    const gpusim::PcieBus& bus);
 
 // Simulated time for a CPU-side run.
 [[nodiscard]] double cpu_sim_seconds(const gpusim::StatsSnapshot& stats,

@@ -110,17 +110,15 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   gpusim::Device dev(cfg.device_bytes);
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
-  if (cfg.trace) {
-    stats.set_trace_hook(cfg.trace);
-    dev.bus().set_trace_hook(cfg.trace);
-  }
+  gpusim::ExecContext ctx(dev, pool, stats);
+  if (cfg.trace) ctx.set_trace(cfg.trace);
 
   mapreduce::RuntimeConfig rcfg;
   rcfg.table.num_buckets = cfg.num_buckets;
   rcfg.table.buckets_per_group = cfg.buckets_per_group;
   rcfg.table.page_size = cfg.page_size;
   choose_chunking(index_lines(input), cfg, rcfg.pipeline);
-  mapreduce::MapReduceRuntime runtime(dev, pool, stats, rcfg);
+  mapreduce::MapReduceRuntime runtime(ctx, rcfg);
 
   const mapreduce::RunOutcome out = runtime.run(input, app.spec());
 
@@ -141,8 +139,7 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
                    : digest_kv(*out.table);
   r.iteration_profiles = out.driver.profiles;
   r.bucket_histogram = out.table->occupancy_histogram();
-  r.sim_seconds =
-      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
+  fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
   return r;
 }
@@ -173,6 +170,7 @@ RunResult run_mr_phoenix(const MrApp& app, std::string_view input,
                                                       : digest_kv(*table);
   (void)load;
   r.sim_seconds = cpu_sim_seconds(r.stats, r.serial);
+  r.sim_seconds_analytic = r.sim_seconds;
   r.wall_seconds = timer.seconds();
   return r;
 }
@@ -183,10 +181,11 @@ RunResult run_mr_mapcg(const MrApp& app, std::string_view input,
   gpusim::Device dev(cfg.device_bytes);
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
+  gpusim::ExecContext ctx(dev, pool, stats);
 
   baselines::MapCgConfig mcfg;
   mcfg.num_buckets = cfg.num_buckets;
-  baselines::MapCgRuntime mapcg(dev, pool, stats, mcfg);
+  baselines::MapCgRuntime mapcg(ctx, mcfg);
   mapcg.run(input, app.spec());  // throws MapCgOutOfMemory on overflow
 
   RunResult r;
@@ -202,8 +201,7 @@ RunResult run_mr_mapcg(const MrApp& app, std::string_view input,
   r.checksum = app.mode == mapreduce::Mode::kMapGroup
                    ? digest_groups(MapCgGroupView{mapcg})
                    : digest_kv(MapCgReducedView{mapcg});
-  r.sim_seconds =
-      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
+  fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
   return r;
 }

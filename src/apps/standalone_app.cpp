@@ -97,15 +97,13 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   gpusim::Device dev(cfg.device_bytes);
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
-  if (cfg.trace) {
-    stats.set_trace_hook(cfg.trace);
-    dev.bus().set_trace_hook(cfg.trace);
-  }
+  gpusim::ExecContext ctx(dev, pool, stats);
+  if (cfg.trace) ctx.set_trace(cfg.trace);
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
   choose_chunking(index, cfg, pcfg);
-  bigkernel::InputPipeline pipe(dev, pool, stats, pcfg);
+  bigkernel::InputPipeline pipe(ctx, pcfg);
 
   core::HashTableConfig tcfg;
   tcfg.org = organization();
@@ -114,7 +112,7 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   tcfg.page_size = cfg.page_size;
   tcfg.combiner = combiner();
   tcfg.heap_bytes = cfg.heap_bytes;
-  core::SepoHashTable ht(dev, pool, stats, tcfg);
+  core::SepoHashTable ht(ctx, tcfg);
 
   ProgressTracker progress(index.size(), /*multi_emit=*/true);
   core::SepoDriver driver({.basic_halt_frac = cfg.basic_halt_frac});
@@ -148,8 +146,7 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
                    : digest_kv(table);
   r.iteration_profiles = dres.profiles;
   r.bucket_histogram = table.occupancy_histogram();
-  r.sim_seconds =
-      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
+  fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
   return r;
 }
@@ -194,6 +191,7 @@ RunResult StandaloneApp::run_cpu(std::string_view input,
                    ? digest_groups(table)
                    : digest_kv(table);
   r.sim_seconds = cpu_sim_seconds(r.stats, r.serial);
+  r.sim_seconds_analytic = r.sim_seconds;
   r.wall_seconds = timer.seconds();
   return r;
 }
@@ -204,21 +202,19 @@ RunResult StandaloneApp::run_pinned(std::string_view input,
   gpusim::Device dev(cfg.device_bytes);
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
-  if (cfg.trace) {
-    stats.set_trace_hook(cfg.trace);
-    dev.bus().set_trace_hook(cfg.trace);
-  }
+  gpusim::ExecContext ctx(dev, pool, stats);
+  if (cfg.trace) ctx.set_trace(cfg.trace);
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
   choose_chunking(index, cfg, pcfg);
-  bigkernel::InputPipeline pipe(dev, pool, stats, pcfg);
+  bigkernel::InputPipeline pipe(ctx, pcfg);
 
   baselines::PinnedHashTableConfig tcfg;
   tcfg.org = organization();
   tcfg.num_buckets = cfg.num_buckets;
   tcfg.combiner = combiner();
-  baselines::PinnedHashTable table(dev, stats, tcfg);
+  baselines::PinnedHashTable table(ctx, tcfg);
 
   ProgressTracker progress(index.size());
   const bool divergent = divergent_parse();
@@ -244,8 +240,7 @@ RunResult StandaloneApp::run_pinned(std::string_view input,
   r.checksum = organization() == core::Organization::kMultiValued
                    ? digest_groups(table)
                    : digest_kv(table);
-  r.sim_seconds =
-      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
+  fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
   return r;
 }

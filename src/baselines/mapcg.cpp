@@ -32,9 +32,8 @@ class MapCgEmitter final : public mapreduce::Emitter {
 
 }  // namespace
 
-MapCgRuntime::MapCgRuntime(gpusim::Device& dev, gpusim::ThreadPool& pool,
-                           gpusim::RunStats& stats, MapCgConfig cfg)
-    : dev_(dev), pool_(pool), stats_(stats), cfg_(cfg) {
+MapCgRuntime::MapCgRuntime(gpusim::ExecContext& ctx, MapCgConfig cfg)
+    : ctx_(ctx), dev_(ctx.device()), stats_(ctx.stats()), cfg_(cfg) {
   if (cfg_.num_buckets == 0 || (cfg_.num_buckets & (cfg_.num_buckets - 1)))
     throw std::invalid_argument("num_buckets must be a power of two");
   bucket_mask_ = cfg_.num_buckets - 1;
@@ -120,7 +119,10 @@ void MapCgRuntime::run(std::string_view input, const mapreduce::MrSpec& spec) {
   if (input.size() + (64u << 10) > dev_.mem_free())
     throw MapCgOutOfMemory("MapCG: input does not fit in device memory");
   const gpusim::DevPtr dev_input = dev_.alloc_static(input.size(), 64);
-  dev_.copy_h2d(dev_input, input.data(), input.size());
+  // MapCG has no pipelining: the upfront copy must complete before the map
+  // kernel starts (honestly serial on the timeline, unlike BigKernel).
+  const gpusim::Event input_staged =
+      ctx_.stage_h2d(dev_input, input.data(), input.size());
 
   arena_size_ = dev_.mem_free();
   arena_base_ = dev_.alloc_static(arena_size_, 64);
@@ -135,8 +137,8 @@ void MapCgRuntime::run(std::string_view input, const mapreduce::MrSpec& spec) {
   // Exceptions must not escape a pool worker; an out-of-memory emit sets a
   // flag and the failure is rethrown on the host thread after the kernel.
   std::atomic<bool> oom{false};
-  gpusim::launch(
-      pool_, stats_, index.size(),
+  ctx_.launch(
+      index.size(),
       [&](std::size_t r) {
         if (oom.load(std::memory_order_relaxed)) return;
         const std::string_view body{
@@ -153,7 +155,7 @@ void MapCgRuntime::run(std::string_view input, const mapreduce::MrSpec& spec) {
         }
         stats_.add_records_processed();
       },
-      {.grid_threads = cfg_.grid_threads});
+      {.grid_threads = cfg_.grid_threads}, input_staged);
   if (oom.load(std::memory_order_relaxed))
     throw MapCgOutOfMemory("MapCG: device hash table out of memory");
 
@@ -161,13 +163,14 @@ void MapCgRuntime::run(std::string_view input, const mapreduce::MrSpec& spec) {
 
   // Results are copied back to host in one bulk transfer.
   dev_.bus().d2h(arena_used_.load(std::memory_order_relaxed));
+  ctx_.flush_d2h(arena_used_.load(std::memory_order_relaxed));
 }
 
 void MapCgRuntime::reduce_pass(core::CombineFn combine) {
   // Separate reduce phase ("grouping is postponed to a later stage", the
   // overhead the paper's on-the-fly combining avoids): fold each key's
   // value list into its first value node.
-  gpusim::launch(pool_, stats_, heads_.size(), [&](std::size_t b) {
+  ctx_.launch(heads_.size(), [&](std::size_t b) {
     for (gpusim::DevPtr p = heads_[b].load(std::memory_order_relaxed);
          p != gpusim::kDevNull;) {
       auto* kn = dev_.ptr<KeyNode>(p);

@@ -22,6 +22,7 @@
 
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/launch.hpp"
 #include "gpusim/thread_pool.hpp"
 #include "mapreduce/spec.hpp"
@@ -41,8 +42,7 @@ struct MapCgConfig {
 
 class MapCgRuntime {
  public:
-  MapCgRuntime(gpusim::Device& dev, gpusim::ThreadPool& pool,
-               gpusim::RunStats& stats, MapCgConfig cfg = {});
+  explicit MapCgRuntime(gpusim::ExecContext& ctx, MapCgConfig cfg = {});
 
   // Runs map over all records; throws MapCgOutOfMemory when the device
   // cannot hold input + table. For kMapReduce a separate reduce pass folds
@@ -113,8 +113,8 @@ class MapCgRuntime {
   core::Status insert(std::string_view key, std::span<const std::byte> value);
   void reduce_pass(core::CombineFn combine);
 
+  gpusim::ExecContext& ctx_;
   gpusim::Device& dev_;
-  gpusim::ThreadPool& pool_;
   gpusim::RunStats& stats_;
   MapCgConfig cfg_;
   std::uint32_t bucket_mask_;

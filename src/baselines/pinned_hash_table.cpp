@@ -7,9 +7,9 @@
 
 namespace sepo::baselines {
 
-PinnedHashTable::PinnedHashTable(gpusim::Device& dev, gpusim::RunStats& stats,
+PinnedHashTable::PinnedHashTable(gpusim::ExecContext& ctx,
                                  PinnedHashTableConfig cfg)
-    : dev_(dev), stats_(stats), cfg_(cfg) {
+    : dev_(ctx.device()), stats_(ctx.stats()), cfg_(cfg) {
   if (cfg_.num_buckets == 0 || (cfg_.num_buckets & (cfg_.num_buckets - 1)))
     throw std::invalid_argument("num_buckets must be a power of two");
   if (cfg_.org == core::Organization::kCombining && cfg_.combiner == nullptr)

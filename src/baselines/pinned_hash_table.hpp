@@ -25,6 +25,7 @@
 #include "core/sepo.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/launch.hpp"
 
 namespace sepo::baselines {
@@ -38,9 +39,10 @@ struct PinnedHashTableConfig {
 
 class PinnedHashTable {
  public:
-  // `dev` supplies the bus to meter and hosts the bucket array + locks.
-  PinnedHashTable(gpusim::Device& dev, gpusim::RunStats& stats,
-                  PinnedHashTableConfig cfg);
+  // The context's device supplies the bus to meter and hosts the bucket
+  // array + locks; remote traffic lands on the context's timeline via the
+  // kernels that issue it (ExecContext::launch).
+  PinnedHashTable(gpusim::ExecContext& ctx, PinnedHashTableConfig cfg);
 
   // Device-side insert. Never postpones: CPU memory is effectively
   // unbounded, which is this design's selling point — and its performance

@@ -7,9 +7,8 @@
 
 namespace sepo::baselines {
 
-StadiumHashTable::StadiumHashTable(gpusim::Device& dev,
-                                   gpusim::RunStats& stats, StadiumConfig cfg)
-    : dev_(dev), stats_(stats), cfg_(cfg) {
+StadiumHashTable::StadiumHashTable(gpusim::ExecContext& ctx, StadiumConfig cfg)
+    : dev_(ctx.device()), stats_(ctx.stats()), cfg_(cfg) {
   if (cfg_.num_buckets == 0 || (cfg_.num_buckets & (cfg_.num_buckets - 1)))
     throw std::invalid_argument("num_buckets must be a power of two");
   bucket_mask_ = cfg_.num_buckets - 1;

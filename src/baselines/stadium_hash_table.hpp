@@ -33,6 +33,7 @@
 #include "core/entry_layout.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/launch.hpp"
 
 namespace sepo::baselines {
@@ -46,8 +47,7 @@ class StadiumHashTable {
  public:
   // The fingerprint index grows in device memory (2 bytes per stored pair,
   // chained in small device-resident blocks); entries live in host memory.
-  StadiumHashTable(gpusim::Device& dev, gpusim::RunStats& stats,
-                   StadiumConfig cfg = {});
+  explicit StadiumHashTable(gpusim::ExecContext& ctx, StadiumConfig cfg = {});
 
   // Device-side insert: consults/extends the device index, then performs
   // exactly one remote write for the entry. Throws std::bad_alloc when the

@@ -4,9 +4,12 @@
 // The raw input lives in host memory. It is cut into chunks of consecutive
 // records; each chunk is staged into one of a small ring of device-resident
 // input buffers (a metered host-to-device transfer) and then processed by a
-// kernel over the chunk's records. Transfers of chunk k+1 overlap with the
-// processing of chunk k on real hardware; the cost model accounts for that
-// by charging max(compute, h2d) (DESIGN.md §5).
+// kernel over the chunk's records. The pipeline enqueues both onto the
+// ExecContext's streams: the kernel for chunk k waits on chunk k's staging
+// event, and staging into a ring slot waits on the event of the kernel that
+// last read that slot. The ring is therefore real double-buffering — with
+// N staging buffers at most N transfers can run ahead of compute, and with
+// one buffer staging and compute fully serialize (DESIGN.md §5).
 //
 // Under SEPO the same input may be staged multiple times — once per
 // iteration — but chunks whose records have all been processed are skipped,
@@ -20,12 +23,11 @@
 #include <string_view>
 #include <vector>
 
+#include "bigkernel/staging_totals.hpp"
 #include "common/progress.hpp"
 #include "common/strings.hpp"
 #include "core/sepo.hpp"
-#include "gpusim/device.hpp"
-#include "gpusim/launch.hpp"
-#include "gpusim/thread_pool.hpp"
+#include "gpusim/exec_context.hpp"
 
 namespace sepo::bigkernel {
 
@@ -41,10 +43,7 @@ struct PipelineConfig {
 using TaskFn = std::function<core::Status(std::size_t rec_id,
                                           std::string_view body)>;
 
-struct PassResult {
-  std::uint64_t chunks_staged = 0;
-  std::uint64_t chunks_skipped = 0;   // all records already done
-  std::uint64_t bytes_staged = 0;
+struct PassResult : StagingTotals {
   bool halted = false;
 };
 
@@ -53,8 +52,7 @@ class InputPipeline {
   // Allocates the staging ring in device memory (static allocation: the
   // staging buffers are among the "other data structures" that shrink what
   // the heap may claim, §IV-A).
-  InputPipeline(gpusim::Device& dev, gpusim::ThreadPool& pool,
-                gpusim::RunStats& stats, PipelineConfig cfg);
+  InputPipeline(gpusim::ExecContext& ctx, PipelineConfig cfg);
 
   // One pass over all records not yet marked done in `progress`:
   // stages pending chunks and runs `task` on each pending record; marks
@@ -67,11 +65,13 @@ class InputPipeline {
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
 
  private:
-  gpusim::Device& dev_;
-  gpusim::ThreadPool& pool_;
-  gpusim::RunStats& stats_;
+  gpusim::ExecContext& ctx_;
   PipelineConfig cfg_;
   std::vector<gpusim::DevPtr> staging_;  // ring buffers in device memory
+  // Completion event of the kernel that last read each ring slot; restaging
+  // the slot waits on it. Persists across passes: an iteration's first
+  // transfer still contends with the tail of the previous pass.
+  std::vector<gpusim::Event> last_use_;
 };
 
 }  // namespace sepo::bigkernel

@@ -1,0 +1,23 @@
+// Shared staging counters: one pass (bigkernel::PassResult) and a whole run
+// (core::DriverResult) report the same three totals; both embed this struct
+// so the fields cannot drift apart.
+#pragma once
+
+#include <cstdint>
+
+namespace sepo::bigkernel {
+
+struct StagingTotals {
+  std::uint64_t chunks_staged = 0;
+  std::uint64_t chunks_skipped = 0;  // all records already done
+  std::uint64_t bytes_staged = 0;
+
+  StagingTotals& operator+=(const StagingTotals& o) noexcept {
+    chunks_staged += o.chunks_staged;
+    chunks_skipped += o.chunks_skipped;
+    bytes_staged += o.bytes_staged;
+    return *this;
+  }
+};
+
+}  // namespace sepo::bigkernel

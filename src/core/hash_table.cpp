@@ -13,9 +13,8 @@ namespace {
 constexpr bool is_pow2(std::uint64_t v) { return v && (v & (v - 1)) == 0; }
 }  // namespace
 
-SepoHashTable::SepoHashTable(gpusim::Device& dev, gpusim::ThreadPool& pool,
-                             gpusim::RunStats& stats, HashTableConfig cfg)
-    : dev_(dev), pool_(pool), stats_(stats), cfg_(cfg) {
+SepoHashTable::SepoHashTable(gpusim::ExecContext& ctx, HashTableConfig cfg)
+    : ctx_(ctx), dev_(ctx.device()), stats_(ctx.stats()), cfg_(cfg) {
   if (!is_pow2(cfg_.num_buckets))
     throw std::invalid_argument("num_buckets must be a power of two");
   if (cfg_.buckets_per_group == 0 || cfg_.buckets_per_group > cfg_.num_buckets)
@@ -242,8 +241,9 @@ void SepoHashTable::rebuild_device_chains() {
     b.head_dev.store(gpusim::kDevNull, std::memory_order_relaxed);
 
   // One kernel over resident pages: each page is walked linearly (entries
-  // are contiguous and self-sizing).
-  gpusim::launch(pool_, stats_, resident_key_pages_.size(), [&](std::size_t i) {
+  // are contiguous and self-sizing). Scheduled through the context so the
+  // rebuild shows up on the compute timeline like any other kernel.
+  ctx_.launch(resident_key_pages_.size(), [&](std::size_t i) {
     const std::uint32_t page = resident_key_pages_[i];
     const auto& meta = pool_pages_->meta(page);
     const std::uint32_t used = meta.used.load(std::memory_order_relaxed);
@@ -272,6 +272,9 @@ void SepoHashTable::flush_pages(const std::vector<std::uint32_t>& pages) {
     if (used > 0) {
       host_heap_->store_page(slot, dev_.ptr(pool_pages_->page_base(p)), used);
       dev_.bus().d2h(used);
+      // Flushes halt computation (§IV-C): each page copy is a barrier
+      // command on the d2h path.
+      ctx_.flush_d2h(used);
       flushed_bytes_ += used;
       ++flush_pages_;
       ++flushed_pages;
@@ -344,6 +347,7 @@ HostTable SepoHashTable::finalize() {
   for (std::size_t i = 0; i < buckets_.size(); ++i)
     heads[i] = buckets_[i].head_host;
   dev_.bus().d2h(buckets_.size() * sizeof(HostPtr));
+  ctx_.flush_d2h(buckets_.size() * sizeof(HostPtr));
 
   return HostTable(cfg_.org, std::move(heads), *host_heap_, cfg_.combiner);
 }

@@ -21,6 +21,7 @@
 #include "core/host_table.hpp"
 #include "core/sepo.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/launch.hpp"
 #include "gpusim/thread_pool.hpp"
 
@@ -54,8 +55,7 @@ struct HashTableStats {
 
 class SepoHashTable {
  public:
-  SepoHashTable(gpusim::Device& dev, gpusim::ThreadPool& pool,
-                gpusim::RunStats& stats, HashTableConfig cfg);
+  SepoHashTable(gpusim::ExecContext& ctx, HashTableConfig cfg);
 
   SepoHashTable(const SepoHashTable&) = delete;
   SepoHashTable& operator=(const SepoHashTable&) = delete;
@@ -157,8 +157,8 @@ class SepoHashTable {
   void flush_pages(const std::vector<std::uint32_t>& pages);
   void rebuild_device_chains();
 
+  gpusim::ExecContext& ctx_;
   gpusim::Device& dev_;
-  gpusim::ThreadPool& pool_;
   gpusim::RunStats& stats_;
   HashTableConfig cfg_;
   std::uint32_t bucket_mask_;

@@ -31,9 +31,7 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
         pipe.run_pass(input, index, progress, task, halted);
     ht.end_iteration();
 
-    result.chunks_staged += pass.chunks_staged;
-    result.chunks_skipped += pass.chunks_skipped;
-    result.bytes_staged += pass.bytes_staged;
+    static_cast<bigkernel::StagingTotals&>(result) += pass;
     result.profiles.push_back(
         profile_iteration(ht, result.iterations, stats_before, pass));
     if (hook) hook->on_iteration_end(result.iterations);

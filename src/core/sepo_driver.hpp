@@ -29,11 +29,10 @@ struct DriverConfig {
   std::uint32_t max_iterations = 10000;
 };
 
-struct DriverResult {
+// Embeds the same StagingTotals a single pass reports, accumulated over all
+// iterations — no field-by-field copying to drift.
+struct DriverResult : bigkernel::StagingTotals {
   std::uint32_t iterations = 0;
-  std::uint64_t chunks_staged = 0;
-  std::uint64_t chunks_skipped = 0;
-  std::uint64_t bytes_staged = 0;
   // One convergence snapshot per iteration (telemetry; always collected —
   // the cost is one counter snapshot and one bucket sweep per iteration).
   IterationProfiles profiles;

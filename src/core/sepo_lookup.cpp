@@ -44,11 +44,10 @@ void write_entry(std::byte*& dst, std::string_view key,
 
 }  // namespace
 
-SepoLookupEngine::SepoLookupEngine(gpusim::Device& dev,
-                                   gpusim::ThreadPool& pool,
-                                   gpusim::RunStats& stats,
+SepoLookupEngine::SepoLookupEngine(gpusim::ExecContext& ctx,
                                    const HostTable& table, LookupConfig cfg)
-    : dev_(dev), pool_(pool), stats_(stats), table_(table), cfg_(cfg) {
+    : ctx_(ctx), dev_(ctx.device()), stats_(ctx.stats()), table_(table),
+      cfg_(cfg) {
   const std::size_t buckets = table_.bucket_count();
   bucket_sizes_.resize(buckets);
   for (std::uint32_t b = 0; b < buckets; ++b) {
@@ -173,12 +172,13 @@ LookupBatchResult SepoLookupEngine::run_batch(
       cursor += serialize_bucket(b, dev_.ptr(arena_ + cursor));
     }
     dev_.bus().h2d(cursor);
+    const gpusim::Event staged = ctx_.copy_stream().h2d(cursor);
     result.staged_bytes += cursor;
 
     // Lookup kernel over pending queries.
     std::atomic<std::uint64_t> answer_bytes{0};
-    gpusim::launch(
-        pool_, stats_, queries.size(),
+    ctx_.launch(
+        queries.size(),
         [&](std::size_t i) {
           stats_.add_records_scanned();
           if (done.test(i)) return;
@@ -200,11 +200,14 @@ LookupBatchResult SepoLookupEngine::run_batch(
           pending[s].fetch_sub(1, std::memory_order_relaxed);
           stats_.add_records_processed();
         },
-        {.grid_threads = cfg_.grid_threads});
+        {.grid_threads = cfg_.grid_threads}, staged);
 
     // Answers travel back in one bulk transfer per segment.
     const std::uint64_t ab = answer_bytes.load(std::memory_order_relaxed);
-    if (ab > 0) dev_.bus().d2h(ab);
+    if (ab > 0) {
+      dev_.bus().d2h(ab);
+      ctx_.flush_d2h(ab);
+    }
   }
 
   result.found = found.load(std::memory_order_relaxed);

@@ -26,6 +26,7 @@
 #include "core/host_table.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/thread_pool.hpp"
 
 namespace sepo::core {
@@ -51,8 +52,7 @@ class SepoLookupEngine {
   // Walks `table` once to size every bucket's serialized chain and builds
   // the segment partition. Throws std::runtime_error if some single bucket
   // chain exceeds the staging arena.
-  SepoLookupEngine(gpusim::Device& dev, gpusim::ThreadPool& pool,
-                   gpusim::RunStats& stats, const HostTable& table,
+  SepoLookupEngine(gpusim::ExecContext& ctx, const HostTable& table,
                    LookupConfig cfg = {});
 
   // Basic/combining tables: answers every query with the first matching
@@ -94,8 +94,8 @@ class SepoLookupEngine {
   LookupBatchResult run_batch(const std::vector<std::string>& queries,
                               const OnHit& on_hit);
 
+  gpusim::ExecContext& ctx_;
   gpusim::Device& dev_;
-  gpusim::ThreadPool& pool_;
   gpusim::RunStats& stats_;
   const HostTable& table_;
   LookupConfig cfg_;

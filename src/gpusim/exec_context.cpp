@@ -1,0 +1,67 @@
+#include "gpusim/exec_context.hpp"
+
+namespace sepo::gpusim {
+
+ExecContext::ExecContext(Device& dev, ThreadPool& pool, RunStats& stats,
+                         const MachineDesc& machine)
+    : dev_(dev),
+      pool_(pool),
+      stats_(stats),
+      timeline_(machine, dev.bus().params()),
+      compute_(timeline_),
+      copy_(timeline_),
+      flush_(timeline_) {}
+
+void ExecContext::set_trace(TraceHook* hook) {
+  stats_.set_trace_hook(hook);
+  timeline_.set_hook(hook);
+  if (hook) hook->on_timeline_attach();
+}
+
+Event ExecContext::stage_h2d(DevPtr dst, const void* src, std::size_t bytes,
+                             Event after) {
+  dev_.copy_h2d(dst, src, bytes);
+  copy_.wait(after);
+  return copy_.h2d(bytes);
+}
+
+Event ExecContext::launch(std::size_t n_items,
+                          const std::function<void(std::size_t)>& kernel,
+                          LaunchConfig cfg, Event after) {
+  const StatsSnapshot stats_before = stats_.snapshot();
+  const PcieSnapshot bus_before = dev_.bus().snapshot();
+  gpusim::launch(pool_, stats_, n_items, kernel, cfg);
+  const StatsSnapshot delta = stats_.snapshot() - stats_before;
+  const PcieSnapshot bus_after = dev_.bus().snapshot();
+
+  compute_.wait(after);
+  Event done = compute_.kernel(delta, n_items);
+
+  // Remote accesses the kernel issued (pinned baseline) serialize with the
+  // issuing warps: schedule them right after the kernel and stall subsequent
+  // compute until they drain.
+  const std::uint64_t remote_txns =
+      bus_after.remote_txns - bus_before.remote_txns;
+  if (remote_txns > 0) {
+    const std::uint64_t remote_bytes =
+        bus_after.remote_bytes - bus_before.remote_bytes;
+    done = timeline_.schedule(
+        TimelineCommandKind::kRemoteAccess, TimelineResource::kRemote, done.at,
+        timeline_.price_remote(remote_bytes, remote_txns), remote_bytes,
+        remote_txns);
+    compute_.wait(done);
+  }
+  return done;
+}
+
+Event ExecContext::flush_d2h(std::uint64_t bytes) {
+  // The flush cannot start before queued compute finishes, and computation
+  // (and further staging) halts until it completes (paper §IV-C).
+  flush_.wait(compute_.record());
+  const Event done = flush_.d2h_flush(bytes);
+  compute_.wait(done);
+  copy_.wait(done);
+  return done;
+}
+
+}  // namespace sepo::gpusim

@@ -1,0 +1,97 @@
+// Unified execution context for the virtual device.
+//
+// Every layer above gpusim used to thread the same parameter triple
+// (Device&, ThreadPool&, RunStats&) through its constructors and then price
+// time analytically after the fact. ExecContext bundles the triple with a
+// discrete-event Timeline and the three streams the SEPO execution model
+// needs:
+//
+//   * copy stream     h2d input staging (BigKernel ring). Overlaps compute;
+//                     bounded by buffer-reuse dependencies.
+//   * compute stream  kernel launches; remote accesses serialize after the
+//                     kernel that issued them (pinned baseline).
+//   * flush stream    d2h heap flushes. A flush is a barrier: it waits for
+//                     all queued compute and halts both compute and staging
+//                     until it completes (paper §IV-C).
+//
+// The context wraps the physical operations (the memcpy + bus metering stay
+// exactly as before, so counters and checksums are untouched) and schedules
+// the priced command onto the timeline. sim_elapsed() is the resulting
+// makespan; the analytic gpu_time() remains available as a cross-check.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/stream.hpp"
+#include "gpusim/thread_pool.hpp"
+
+namespace sepo::gpusim {
+
+class ExecContext {
+ public:
+  // Non-owning: bundles an existing device/pool/stats. The timeline prices
+  // with `machine` and the device bus's PCIe parameters.
+  ExecContext(Device& dev, ThreadPool& pool, RunStats& stats,
+              const MachineDesc& machine = kGpuDesc);
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  [[nodiscard]] Device& device() noexcept { return dev_; }
+  [[nodiscard]] ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] RunStats& stats() noexcept { return stats_; }
+  [[nodiscard]] PcieBus& bus() noexcept { return dev_.bus(); }
+  [[nodiscard]] Timeline& timeline() noexcept { return timeline_; }
+  [[nodiscard]] const Timeline& timeline() const noexcept { return timeline_; }
+  [[nodiscard]] Stream& compute_stream() noexcept { return compute_; }
+  [[nodiscard]] Stream& copy_stream() noexcept { return copy_; }
+  [[nodiscard]] Stream& flush_stream() noexcept { return flush_; }
+
+  // Installs a telemetry hook on the run's counters and the timeline and
+  // announces the attach (recorders offset subsequent commands by their
+  // current end so several runs concatenate onto one trace). The bus keeps
+  // no hook: resource spans now come from exact timeline commands.
+  void set_trace(TraceHook* hook);
+
+  // Stages `bytes` host->device (metered memcpy, as Device::copy_h2d) and
+  // schedules the copy on the h2d engine, not before `after` (typically the
+  // event of the kernel that last read the target staging buffer). Returns
+  // the copy's completion event.
+  Event stage_h2d(DevPtr dst, const void* src, std::size_t bytes,
+                  Event after = {});
+
+  // Runs `kernel` over [0, n_items) on the virtual grid (as gpusim::launch)
+  // and schedules the priced kernel on the compute engine, not before
+  // `after` (typically its input chunk's staging event). Remote traffic the
+  // kernel generated (pinned baseline) is scheduled directly after it and
+  // halts later compute, matching the analytic serialization rule.
+  Event launch(std::size_t n_items,
+               const std::function<void(std::size_t)>& kernel,
+               LaunchConfig cfg = {}, Event after = {});
+
+  // Schedules a d2h flush transfer of `bytes` (the caller already performed
+  // the page copy and bus metering). Flushes halt computation (§IV-C): the
+  // transfer waits for all queued compute, and both the compute and copy
+  // streams resume only after it completes.
+  Event flush_d2h(std::uint64_t bytes);
+
+  // Simulated makespan so far: end of the last scheduled command.
+  [[nodiscard]] double sim_elapsed() const noexcept {
+    return timeline_.total_end();
+  }
+
+ private:
+  Device& dev_;
+  ThreadPool& pool_;
+  RunStats& stats_;
+  Timeline timeline_;
+  Stream compute_;
+  Stream copy_;
+  Stream flush_;
+};
+
+}  // namespace sepo::gpusim

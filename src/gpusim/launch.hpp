@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <thread>
 
 #include "gpusim/counters.hpp"
 #include "gpusim/thread_pool.hpp"
@@ -40,11 +42,25 @@ class DeviceLock {
     stats.add_lock_acquires();
     if (flag_.exchange(1, std::memory_order_acquire) == 0) return;
     stats.add_lock_contended();
-    std::uint64_t spins = 0;
-    while (flag_.exchange(1, std::memory_order_acquire) != 0) {
-      ++spins;
+    // Test-and-test-and-set with bounded exponential backoff. The raw
+    // exchange loop livelock-spins when grid_threads far exceeds the host
+    // pool: the holder's OS thread can be descheduled while waiters burn
+    // its core. Backoff spins read-only (no cache-line ping-pong) and
+    // yields once saturated so the holder gets scheduled.
+    std::uint64_t retries = 0;
+    std::uint32_t backoff = 1;
+    constexpr std::uint32_t kMaxBackoff = 1024;
+    for (;;) {
+      for (std::uint32_t i = 0; i < backoff; ++i)
+        if (flag_.load(std::memory_order_relaxed) == 0) break;
+      if (flag_.exchange(1, std::memory_order_acquire) == 0) break;
+      ++retries;
+      if (backoff < kMaxBackoff)
+        backoff <<= 1;
+      else
+        std::this_thread::yield();
     }
-    stats.add_atomic_retries(spins);
+    stats.add_atomic_retries(retries);
   }
 
   void unlock() noexcept { flag_.store(0, std::memory_order_release); }

@@ -1,0 +1,76 @@
+#include "gpusim/stream.hpp"
+
+#include <algorithm>
+
+namespace sepo::gpusim {
+
+double Timeline::price_remote(std::uint64_t bytes,
+                              std::uint64_t txns) const noexcept {
+  // Same arithmetic as PcieBus::remote_time: round-trips overlap across the
+  // in-flight requests of thousands of device threads.
+  constexpr double kOverlapFactor = 64.0;
+  return static_cast<double>(txns) * pcie_.remote_roundtrip_s /
+             kOverlapFactor +
+         static_cast<double>(bytes) / pcie_.remote_bandwidth_bytes_per_s;
+}
+
+Event Timeline::schedule(TimelineCommandKind kind, TimelineResource resource,
+                         double ready, double duration, std::uint64_t arg0,
+                         std::uint64_t arg1) {
+  const int r = static_cast<int>(resource);
+  const double start = std::max(ready, end_[r]);
+  const double end = start + duration;
+  end_[r] = end;
+  busy_[r] += duration;
+  ++n_commands_;
+  const TimelineCommand cmd{kind, resource, start, end, arg0, arg1};
+  commands_.push_back(cmd);
+  if (hook_) hook_->on_timeline_command(cmd);
+  return {end};
+}
+
+double Timeline::total_end() const noexcept {
+  return std::max(std::max(end_[0], end_[1]), std::max(end_[2], end_[3]));
+}
+
+TimelineSummary Timeline::summary() const noexcept {
+  TimelineSummary s;
+  s.compute_busy = busy_[static_cast<int>(TimelineResource::kCompute)];
+  s.h2d_busy = busy_[static_cast<int>(TimelineResource::kCopyH2d)];
+  s.d2h_busy = busy_[static_cast<int>(TimelineResource::kCopyD2h)];
+  s.remote_busy = busy_[static_cast<int>(TimelineResource::kRemote)];
+  s.total = total_end();
+  s.commands = n_commands_;
+  return s;
+}
+
+Event Stream::push(TimelineCommandKind kind, TimelineResource resource,
+                   double duration, std::uint64_t arg0, std::uint64_t arg1) {
+  const Event done =
+      tl_->schedule(kind, resource, cursor_, duration, arg0, arg1);
+  cursor_ = done.at;
+  return done;
+}
+
+Event Stream::h2d(std::uint64_t bytes) {
+  return push(TimelineCommandKind::kH2dCopy, TimelineResource::kCopyH2d,
+              tl_->price_copy(bytes, 1), bytes, 0);
+}
+
+Event Stream::d2h_flush(std::uint64_t bytes) {
+  return push(TimelineCommandKind::kD2hFlush, TimelineResource::kCopyD2h,
+              tl_->price_copy(bytes, 1), bytes, 0);
+}
+
+Event Stream::kernel(const StatsSnapshot& delta, std::size_t n_items) {
+  return push(TimelineCommandKind::kKernel, TimelineResource::kCompute,
+              tl_->price_kernel(delta), static_cast<std::uint64_t>(n_items),
+              delta.work_units);
+}
+
+Event Stream::remote(std::uint64_t bytes, std::uint64_t txns) {
+  return push(TimelineCommandKind::kRemoteAccess, TimelineResource::kRemote,
+              tl_->price_remote(bytes, txns), bytes, txns);
+}
+
+}  // namespace sepo::gpusim

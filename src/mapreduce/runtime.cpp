@@ -6,11 +6,8 @@
 
 namespace sepo::mapreduce {
 
-MapReduceRuntime::MapReduceRuntime(gpusim::Device& dev,
-                                   gpusim::ThreadPool& pool,
-                                   gpusim::RunStats& stats, RuntimeConfig cfg)
-    : dev_(dev), pool_(pool), stats_(stats), cfg_(cfg),
-      pipeline_(dev, pool, stats, cfg.pipeline) {}
+MapReduceRuntime::MapReduceRuntime(gpusim::ExecContext& ctx, RuntimeConfig cfg)
+    : ctx_(ctx), cfg_(cfg), pipeline_(ctx, cfg.pipeline) {}
 
 RunOutcome MapReduceRuntime::run(std::string_view input, const MrSpec& spec,
                                  const Partitioner& partition) {
@@ -33,7 +30,7 @@ RunOutcome MapReduceRuntime::run(std::string_view input, const MrSpec& spec,
     tcfg.org = core::Organization::kMultiValued;
     tcfg.combiner = nullptr;
   }
-  table_ = std::make_unique<core::SepoHashTable>(dev_, pool_, stats_, tcfg);
+  table_ = std::make_unique<core::SepoHashTable>(ctx_, tcfg);
 
   const RecordIndex index =
       partition ? partition(input) : index_lines(input);

@@ -37,8 +37,7 @@ class MapReduceRuntime {
  public:
   // Construction allocates the staging ring; the hash table (and its heap,
   // which claims all remaining device memory) is created per run().
-  MapReduceRuntime(gpusim::Device& dev, gpusim::ThreadPool& pool,
-                   gpusim::RunStats& stats, RuntimeConfig cfg);
+  MapReduceRuntime(gpusim::ExecContext& ctx, RuntimeConfig cfg);
 
   // Executes the full MapReduce job over `input`. The returned HostTable
   // points into memory owned by this runtime; it remains valid until the
@@ -49,9 +48,7 @@ class MapReduceRuntime {
   [[nodiscard]] core::SepoHashTable* table() noexcept { return table_.get(); }
 
  private:
-  gpusim::Device& dev_;
-  gpusim::ThreadPool& pool_;
-  gpusim::RunStats& stats_;
+  gpusim::ExecContext& ctx_;
   RuntimeConfig cfg_;
   bigkernel::InputPipeline pipeline_;
   std::unique_ptr<core::SepoHashTable> table_;

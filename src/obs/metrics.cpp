@@ -36,6 +36,14 @@ Json to_json(const gpusim::GpuTimeBreakdown& b) {
   return j;
 }
 
+Json to_json(const gpusim::TimelineSummary& t) {
+  Json j = Json::object();
+  j.set("compute_busy", t.compute_busy).set("h2d_busy", t.h2d_busy);
+  j.set("d2h_busy", t.d2h_busy).set("remote_busy", t.remote_busy);
+  j.set("total", t.total).set("commands", t.commands);
+  return j;
+}
+
 Json to_json(const core::IterationProfile& p) {
   Json j = Json::object();
   j.set("iteration", p.iteration);
@@ -72,6 +80,7 @@ Json to_json(const apps::RunResult& r) {
   Json j = Json::object();
   j.set("impl", r.impl);
   j.set("sim_seconds", r.sim_seconds);
+  j.set("sim_seconds_analytic", r.sim_seconds_analytic);
   // Host-dependent: wall clock of the *simulation host*, not a result.
   j.set("wall_seconds_host", r.wall_seconds);
   j.set("iterations", r.iterations);
@@ -83,6 +92,7 @@ Json to_json(const apps::RunResult& r) {
   j.set("pcie", to_json(r.pcie));
   j.set("serialization", to_json(r.serial));
   j.set("gpu_breakdown", to_json(r.gpu_breakdown));
+  j.set("timeline", to_json(r.timeline));
   Json profiles = Json::array();
   for (const auto& p : r.iteration_profiles) profiles.push_back(to_json(p));
   j.set("iteration_profiles", std::move(profiles));

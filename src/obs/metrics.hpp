@@ -7,21 +7,33 @@
 // schema, so benches and the CLI can emit reports that are diffable across
 // PRs (sepo_cli metrics-diff) instead of only human-readable tables.
 //
-// Schema sketch (schema_version 1):
+// Schema sketch (schema_version 2):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "tool": "fig6_speedup",
 //     "runs": [
 //       { "app": "...", "impl": "sepo-gpu", "sim_seconds": ...,
+//         "sim_seconds_analytic": ...,     // legacy gpu_time() cross-check
 //         "wall_seconds_host": ..., "iterations": N, "keys": N,
 //         "table_bytes": N, "heap_bytes": N, "checksum_hex": "....",
 //         "stats": { <one field per RunStats counter> },
 //         "pcie": {...}, "serialization": {...}, "gpu_breakdown": {...},
+//         "timeline": { "compute_busy": s, "h2d_busy": s, "d2h_busy": s,
+//                       "remote_busy": s, "total": s, "commands": N },
 //         "iteration_profiles": [ {...}, ... ],
 //         "bucket_histogram": [N, ...], ...caller extras... }
 //     ],
 //     "tables": { "<name>": [ {<header>: <cell>, ...}, ... ] }
 //   }
+//
+// Schema history:
+//   v2  discrete-event timeline: adds "sim_seconds_analytic" and the
+//       "timeline" object (per-resource busy seconds, makespan "total"
+//       equal to the scheduled end of the last command, and the scheduled
+//       command count). GPU runs' "sim_seconds" is now the timeline
+//       makespan plus the serialization term; "gpu_breakdown" keeps the
+//       analytic decomposition.
+//   v1  initial schema.
 //
 // Counter fields are generated from SEPO_STATS_FIELDS, so the serializer
 // cannot drift from the counter set.
@@ -36,12 +48,13 @@
 
 namespace sepo::obs {
 
-inline constexpr int kMetricsSchemaVersion = 1;
+inline constexpr int kMetricsSchemaVersion = 2;
 
 [[nodiscard]] Json to_json(const gpusim::StatsSnapshot& s);
 [[nodiscard]] Json to_json(const gpusim::PcieSnapshot& p);
 [[nodiscard]] Json to_json(const gpusim::SerializationInputs& s);
 [[nodiscard]] Json to_json(const gpusim::GpuTimeBreakdown& b);
+[[nodiscard]] Json to_json(const gpusim::TimelineSummary& t);
 [[nodiscard]] Json to_json(const core::IterationProfile& p);
 [[nodiscard]] Json to_json(const apps::RunResult& r);
 

@@ -13,85 +13,76 @@ constexpr double kUs = 1e6;
 
 void TraceRecorder::begin_section(const std::string& name) {
   std::lock_guard lock(mu_);
-  flush_pending_remote_locked();
-  const double now = std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
-  instants_.emplace_back(now * kUs, name);
+  instants_.emplace_back(now_locked() * kUs, name);
 }
 
-void TraceRecorder::on_kernel(const gpusim::StatsSnapshot& delta,
-                              std::size_t n_items) {
+void TraceRecorder::on_timeline_attach() {
   std::lock_guard lock(mu_);
-  // A kernel cannot start before its input chunk finished staging, nor while
-  // a heap flush halts computation (t_kernel_ was pushed by on_d2h).
-  const double start = std::max(t_kernel_, last_h2d_end_);
-  const double dur = gpusim::compute_time(cfg_.machine, delta);
-  t_kernel_ = start + dur;
-  spans_.push_back({kTrackKernel, "kernel", start * kUs, dur * kUs,
-                    static_cast<std::uint64_t>(n_items), delta.work_units});
-  flush_pending_remote_locked();
+  // The new run's timeline starts at zero: fold the finished run's makespan
+  // into the base offset so the concatenated trace stays monotone.
+  base_offset_ += run_end_;
+  run_end_ = 0;
+  flush_group_start_ = -1;
 }
 
-void TraceRecorder::on_h2d(std::uint64_t bytes) {
+void TraceRecorder::on_timeline_command(const gpusim::TimelineCommand& cmd) {
   std::lock_guard lock(mu_);
-  // Staging overlaps compute but queues behind other bus work of the same
-  // direction and behind an in-flight flush.
-  const double start = std::max(t_h2d_, t_d2h_);
-  const double dur = pricing_.bulk_time(bytes, 1);
-  t_h2d_ = start + dur;
-  last_h2d_end_ = t_h2d_;
-  spans_.push_back({kTrackH2d, "h2d copy", start * kUs, dur * kUs, bytes, 0});
+  const double start = base_offset_ + cmd.start;
+  const double end = base_offset_ + cmd.end;
+  run_end_ = std::max(run_end_, cmd.end);
+  int track = 0;
+  const char* name = "";
+  switch (cmd.kind) {
+    case gpusim::TimelineCommandKind::kKernel:
+      track = kTrackKernel;
+      name = "kernel";
+      break;
+    case gpusim::TimelineCommandKind::kH2dCopy:
+      track = kTrackH2d;
+      name = "h2d copy";
+      break;
+    case gpusim::TimelineCommandKind::kD2hFlush:
+      track = kTrackD2h;
+      name = "d2h copy";
+      if (flush_group_start_ < 0) flush_group_start_ = start;
+      flush_group_end_ = end;
+      break;
+    case gpusim::TimelineCommandKind::kRemoteAccess:
+      track = kTrackRemote;
+      name = "remote access";
+      break;
+  }
+  spans_.push_back(
+      {track, name, start * kUs, (end - start) * kUs, cmd.arg0, cmd.arg1});
 }
 
-void TraceRecorder::on_d2h(std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
-  // Heap flushes halt computation (paper §IV-C): the copy waits for the
-  // compute track, and the compute track waits for the copy.
-  const double start = std::max(t_d2h_, t_kernel_);
-  const double dur = pricing_.bulk_time(bytes, 1);
-  t_d2h_ = start + dur;
-  t_kernel_ = std::max(t_kernel_, t_d2h_);
-  if (flush_start_ < 0) flush_start_ = start;
-  spans_.push_back({kTrackD2h, "d2h copy", start * kUs, dur * kUs, bytes, 0});
-}
-
-void TraceRecorder::on_remote(std::uint64_t bytes) {
-  std::lock_guard lock(mu_);
-  pending_remote_bytes_ += bytes;
-  ++pending_remote_txns_;
-}
-
-void TraceRecorder::flush_pending_remote_locked() {
-  if (pending_remote_txns_ == 0) return;
-  // Remote accesses serialize with the issuing warps: the aggregate span
-  // starts after the kernel interval that produced it and pushes compute.
-  const double start = std::max(t_remote_, t_kernel_);
-  const double dur =
-      pricing_.remote_time(pending_remote_bytes_, pending_remote_txns_);
-  t_remote_ = start + dur;
-  t_kernel_ = std::max(t_kernel_, t_remote_);
-  spans_.push_back({kTrackRemote, "remote access", start * kUs, dur * kUs,
-                    pending_remote_bytes_, pending_remote_txns_});
-  pending_remote_bytes_ = pending_remote_txns_ = 0;
-}
+// Resource spans come from timeline commands now; the per-event callbacks
+// stay as no-ops for hooks installed on a bare bus / stats pair.
+void TraceRecorder::on_kernel(const gpusim::StatsSnapshot&, std::size_t) {}
+void TraceRecorder::on_h2d(std::uint64_t) {}
+void TraceRecorder::on_d2h(std::uint64_t) {}
+void TraceRecorder::on_remote(std::uint64_t) {}
 
 void TraceRecorder::on_flush(std::uint64_t pages, std::uint64_t bytes) {
   std::lock_guard lock(mu_);
-  const double start = flush_start_ >= 0 ? flush_start_ : t_d2h_;
+  // Group the flush's d2h page transfers (already emitted as kTrackD2h
+  // spans) under one flush span.
+  const double start =
+      flush_group_start_ >= 0 ? flush_group_start_ : now_locked();
+  const double end = flush_group_start_ >= 0 ? flush_group_end_ : start;
   spans_.push_back({kTrackFlush, "heap flush", start * kUs,
-                    (t_d2h_ - start) * kUs, pages, bytes});
-  flush_start_ = -1;
+                    (end - start) * kUs, pages, bytes});
+  flush_group_start_ = -1;
 }
 
 void TraceRecorder::on_iteration_begin(std::uint32_t) {
   std::lock_guard lock(mu_);
-  flush_pending_remote_locked();
-  iter_start_ = std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
+  iter_start_ = now_locked();
 }
 
 void TraceRecorder::on_iteration_end(std::uint32_t iteration) {
   std::lock_guard lock(mu_);
-  flush_pending_remote_locked();
-  const double end = std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
+  const double end = now_locked();
   spans_.push_back({kTrackIteration,
                     "iteration " + std::to_string(iteration),
                     iter_start_ * kUs, (end - iter_start_) * kUs, iteration,
@@ -101,7 +92,7 @@ void TraceRecorder::on_iteration_end(std::uint32_t iteration) {
 
 double TraceRecorder::timeline_end_seconds() const {
   std::lock_guard lock(mu_);
-  return std::max({t_kernel_, t_h2d_, t_d2h_, t_remote_});
+  return now_locked();
 }
 
 Json TraceRecorder::trace_json() const {
@@ -162,7 +153,8 @@ Json TraceRecorder::trace_json() const {
   root.set("traceEvents", std::move(events));
   root.set("displayTimeUnit", "ms");
   root.set("otherData",
-           Json::object().set("clock", "simulated (DESIGN.md §5 cost model)"));
+           Json::object().set(
+               "clock", "simulated (DESIGN.md §5 discrete-event timeline)"));
   return root;
 }
 

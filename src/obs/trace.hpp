@@ -1,29 +1,31 @@
 // Chrome trace_event recorder on the *simulated* clock (DESIGN.md
 // "Telemetry & tracing").
 //
-// The simulator derives time from event counts, so traces are priced, not
-// measured: each device event reported through gpusim::TraceHook (kernel
-// counter delta, bus transfer) is converted to a duration with the same
-// MachineDesc / PcieParams arithmetic the cost model uses, and laid onto
-// per-resource timelines mirroring the §IV/§V serialization rules —
+// The simulator derives time from event counts, and since PR 3 the *when*
+// comes from the discrete-event timeline (gpusim::Timeline): every command
+// the scheduler places — kernel launch, h2d staging copy, d2h flush
+// transfer, remote-access batch — arrives here through
+// TraceHook::on_timeline_command with its exact simulated begin/end, and is
+// emitted verbatim as a span. The recorder no longer re-derives a schedule
+// of its own; it renders the one the execution actually followed:
 //
-//   * kernel compute     one track; kernel k waits for the h2d of its chunk
-//                        (BigKernel dependency) and for any flush in flight,
-//   * pcie h2d           overlaps compute (the pipeline's double-buffering),
-//   * pcie d2h           heap flushes halt computation (paper §IV-C), so a
-//                        d2h span pushes the compute cursor forward,
-//   * heap flush         one span per SepoHashTable flush, grouping its d2h
-//                        page copies,
-//   * remote access      pinned-baseline accesses, serial with compute,
-//   * sepo iteration     one span per driver iteration (from the hook's
-//                        iteration markers).
+//   * kernel compute     one span per kernel command (compute engine),
+//   * pcie h2d           staging copies; overlap with compute is whatever
+//                        the ring-buffer dependencies admitted,
+//   * pcie d2h           heap-flush transfers (halt computation, §IV-C),
+//   * heap flush         one span per SepoHashTable flush, grouping its
+//                        d2h page transfers,
+//   * remote access      pinned-baseline batches, serial with compute,
+//   * sepo iteration     one span per driver iteration (stats-hook
+//                        markers).
 //
-// The resulting file loads in Perfetto / about://tracing. Span totals track
-// the analytic model closely but the headline number remains the cost
-// model's sim_seconds: the trace exists to make overlap/serialization
-// *structure* inspectable, not to re-derive the scalar.
+// A recorder can outlive many runs (the benches trace a whole sweep into
+// one file): each ExecContext's timeline restarts at zero, so on
+// on_timeline_attach the recorder folds the previous run's end into a base
+// offset, keeping the concatenated trace monotone.
 //
-// Recording never mutates counters, so simulated results are bit-identical
+// The resulting file loads in Perfetto / about://tracing. Recording never
+// mutates counters or the schedule, so simulated results are bit-identical
 // with or without a recorder attached.
 #pragma once
 
@@ -68,10 +70,12 @@ class TraceRecorder final : public gpusim::TraceHook {
     std::uint64_t arg0 = 0, arg1 = 0;  // meaning depends on the track
   };
 
-  explicit TraceRecorder(TraceConfig cfg = {})
-      : cfg_(cfg), pricing_(cfg.pcie) {}
+  explicit TraceRecorder(TraceConfig cfg = {}) : cfg_(cfg) {}
 
   // Convenience: install this recorder on a run's counters and bus.
+  // (ExecContext::set_trace is the usual entry point; the bus install is
+  // kept for compatibility — bus callbacks are no-ops now that resource
+  // spans come from timeline commands.)
   void attach(gpusim::RunStats& stats, gpusim::PcieBus& bus) {
     stats.set_trace_hook(this);
     bus.set_trace_hook(this);
@@ -83,11 +87,18 @@ class TraceRecorder final : public gpusim::TraceHook {
   void begin_section(const std::string& name);
 
   // --- gpusim::TraceHook ---
+  // Resource spans: exact begin/end from the execution timeline.
+  void on_timeline_attach() override;
+  void on_timeline_command(const gpusim::TimelineCommand& cmd) override;
+  // Legacy per-event callbacks: superseded by timeline commands. Kept as
+  // no-ops so a recorder attached to a bare bus (no ExecContext) is inert
+  // rather than wrong.
   void on_kernel(const gpusim::StatsSnapshot& delta,
                  std::size_t n_items) override;
   void on_h2d(std::uint64_t bytes) override;
   void on_d2h(std::uint64_t bytes) override;
   void on_remote(std::uint64_t bytes) override;
+  // Structural markers, still delivered through the stats hook.
   void on_flush(std::uint64_t pages, std::uint64_t bytes) override;
   void on_iteration_begin(std::uint32_t iteration) override;
   void on_iteration_end(std::uint32_t iteration) override;
@@ -100,28 +111,28 @@ class TraceRecorder final : public gpusim::TraceHook {
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
   }
-  // Simulated end of the busiest timeline, seconds.
+  // Simulated end of the trace so far, seconds (across attached runs).
   [[nodiscard]] double timeline_end_seconds() const;
 
  private:
-  void flush_pending_remote_locked();
+  [[nodiscard]] double now_locked() const noexcept {
+    return base_offset_ + run_end_;
+  }
 
   TraceConfig cfg_;
-  gpusim::PcieBus pricing_;  // used only for its time arithmetic
 
   mutable std::mutex mu_;
   std::vector<Span> spans_;
   std::vector<std::pair<double, std::string>> instants_;  // section labels
 
-  // Per-track "free from" cursors, simulated seconds.
-  double t_kernel_ = 0, t_h2d_ = 0, t_d2h_ = 0, t_remote_ = 0;
-  double last_h2d_end_ = 0;    // BigKernel dependency for the next kernel
-  double flush_start_ = -1;    // first d2h of the current flush group
-  double iter_start_ = 0;      // set by on_iteration_begin
+  // Concatenation state: each attached run's timeline starts at zero;
+  // base_offset_ is the sum of previous runs' makespans.
+  double base_offset_ = 0;
+  double run_end_ = 0;  // max command end seen in the current run
 
-  // Remote accesses arrive per-word from inside kernels; coalesce them into
-  // one span per kernel interval instead of millions of events.
-  std::uint64_t pending_remote_bytes_ = 0, pending_remote_txns_ = 0;
+  double iter_start_ = 0;       // set by on_iteration_begin
+  double flush_group_start_ = -1;  // first d2h command of the current flush
+  double flush_group_end_ = 0;
 };
 
 }  // namespace sepo::obs

@@ -189,6 +189,39 @@ TEST(DatagenTest, Table1SizesMatchThePaperScaled) {
   EXPECT_THROW(table1_bytes("pvc", 5), std::invalid_argument);
 }
 
+// ---- discrete-event timeline vs analytic cost model ----
+
+// The timeline prices commands with the same arithmetic as gpu_time() but
+// admits only dependency-justified overlap; the two totals must stay close.
+// This mirrors the fig6 --tiny sweep (all seven apps, Table I dataset #1,
+// same seeds) and bounds the divergence at 15%, per run and in aggregate.
+TEST(TimelineCrossCheck, Within15PercentOfAnalyticOnFig6TinySweep) {
+  double timeline_total = 0, analytic_total = 0;
+  const auto check = [&](const RunResult& r, const char* name) {
+    ASSERT_GT(r.sim_seconds_analytic, 0.0) << name;
+    ASSERT_GT(r.timeline.commands, 0u) << name;
+    EXPECT_NEAR(r.sim_seconds, r.sim_seconds_analytic,
+                0.15 * r.sim_seconds_analytic)
+        << name;
+    timeline_total += r.sim_seconds;
+    analytic_total += r.sim_seconds_analytic;
+  };
+
+  for (const Which w : {Which::kPvc, Which::kIi, Which::kDna, Which::kNetflix}) {
+    const auto app = make_app(w);
+    const std::string input =
+        app->generate(table1_bytes(app->table1_key(), 1), 1001);
+    check(app->run_gpu(input, GpuConfig{}), app->name());
+  }
+  for (const MrApp* app : {&word_count_app(), &patent_citation_app(),
+                           &geo_location_app()}) {
+    const std::string input =
+        app->generate(table1_bytes(app->table1_key, 1), 2001);
+    check(run_mr_sepo(*app, input, GpuConfig{}), app->name);
+  }
+  EXPECT_NEAR(timeline_total, analytic_total, 0.15 * analytic_total);
+}
+
 TEST(DatagenTest, GeneratorsProduceParsableRecords) {
   // Every line of every generator must be accepted by its app's parser.
   PageViewCountApp pvc;

@@ -113,7 +113,7 @@ TEST(PinnedHashTableTest, CombiningCorrectAndRemoteMetered) {
   PinnedHashTableConfig cfg;
   cfg.combiner = core::combine_sum_u64;
   cfg.num_buckets = 256;
-  PinnedHashTable t(rig.dev, rig.stats, cfg);
+  PinnedHashTable t(rig.ctx, cfg);
   for (int i = 0; i < 100; ++i)
     t.insert_u64("key-" + std::to_string(i % 10), 1);
   EXPECT_EQ(t.entry_count(), 10u);
@@ -128,7 +128,7 @@ TEST(PinnedHashTableTest, MultiValuedGroupsSurvive) {
   Rig rig(1u << 20);
   PinnedHashTableConfig cfg;
   cfg.org = core::Organization::kMultiValued;
-  PinnedHashTable t(rig.dev, rig.stats, cfg);
+  PinnedHashTable t(rig.ctx, cfg);
   auto ins = [&](std::string_view k, std::string_view v) {
     t.insert(k, std::as_bytes(std::span{v.data(), v.size()}));
   };
@@ -148,7 +148,7 @@ TEST(PinnedHashTableTest, ProbesCostRemoteTransactions) {
   PinnedHashTableConfig cfg;
   cfg.combiner = core::combine_sum_u64;
   cfg.num_buckets = 1;  // force one long chain
-  PinnedHashTable t(rig.dev, rig.stats, cfg);
+  PinnedHashTable t(rig.ctx, cfg);
   for (int i = 0; i < 20; ++i) t.insert_u64("k" + std::to_string(i), 1);
   const auto before = rig.dev.bus().snapshot().remote_txns;
   t.insert_u64("k19", 1);  // probes the chain remotely

@@ -29,7 +29,7 @@ PipelineConfig small_cfg() {
 
 TEST(PipelineTest, ProcessesEveryRecordWithDeviceResidentBodies) {
   Rig rig(1u << 20);
-  InputPipeline pipe(rig.dev, rig.pool, rig.stats, small_cfg());
+  InputPipeline pipe(rig.ctx, small_cfg());
   const std::string input = lines(100);
   const RecordIndex idx = index_lines(input);
   ProgressTracker progress(idx.size());
@@ -53,7 +53,7 @@ TEST(PipelineTest, ProcessesEveryRecordWithDeviceResidentBodies) {
 
 TEST(PipelineTest, StagingIsMeteredOnTheBus) {
   Rig rig(1u << 20);
-  InputPipeline pipe(rig.dev, rig.pool, rig.stats, small_cfg());
+  InputPipeline pipe(rig.ctx, small_cfg());
   const std::string input = lines(64);
   const RecordIndex idx = index_lines(input);
   ProgressTracker progress(idx.size());
@@ -68,7 +68,7 @@ TEST(PipelineTest, StagingIsMeteredOnTheBus) {
 
 TEST(PipelineTest, FullyDoneChunksAreSkippedWithoutStaging) {
   Rig rig(1u << 20);
-  InputPipeline pipe(rig.dev, rig.pool, rig.stats, small_cfg());
+  InputPipeline pipe(rig.ctx, small_cfg());
   const std::string input = lines(64);
   const RecordIndex idx = index_lines(input);
   ProgressTracker progress(idx.size());
@@ -93,7 +93,7 @@ TEST(PipelineTest, FullyDoneChunksAreSkippedWithoutStaging) {
 
 TEST(PipelineTest, HaltStopsIssuingNewChunks) {
   Rig rig(1u << 20);
-  InputPipeline pipe(rig.dev, rig.pool, rig.stats, small_cfg());
+  InputPipeline pipe(rig.ctx, small_cfg());
   const std::string input = lines(160);  // 10 chunks
   const RecordIndex idx = index_lines(input);
   ProgressTracker progress(idx.size());
@@ -112,7 +112,7 @@ TEST(PipelineTest, HaltStopsIssuingNewChunks) {
 
 TEST(PipelineTest, PostponedRecordsStayPending) {
   Rig rig(1u << 20);
-  InputPipeline pipe(rig.dev, rig.pool, rig.stats, small_cfg());
+  InputPipeline pipe(rig.ctx, small_cfg());
   const std::string input = lines(32);
   const RecordIndex idx = index_lines(input);
   ProgressTracker progress(idx.size());
@@ -131,7 +131,7 @@ TEST(PipelineTest, OversizedChunkThrows) {
   Rig rig(1u << 20);
   PipelineConfig cfg = small_cfg();
   cfg.max_chunk_bytes = 8;  // smaller than one record
-  InputPipeline pipe(rig.dev, rig.pool, rig.stats, cfg);
+  InputPipeline pipe(rig.ctx, cfg);
   const std::string input = lines(4);
   const RecordIndex idx = index_lines(input);
   ProgressTracker progress(idx.size());
@@ -146,7 +146,7 @@ TEST(PipelineTest, RejectsInvalidConfig) {
   Rig rig(1u << 20);
   PipelineConfig cfg;
   cfg.records_per_chunk = 0;
-  EXPECT_THROW(InputPipeline(rig.dev, rig.pool, rig.stats, cfg),
+  EXPECT_THROW(InputPipeline(rig.ctx, cfg),
                std::invalid_argument);
 }
 

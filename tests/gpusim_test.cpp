@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "gpusim/cost_model.hpp"
@@ -130,6 +131,47 @@ TEST(DeviceLockTest, MutualExclusion) {
   });
   EXPECT_EQ(counter, 20000);
   EXPECT_EQ(stats.snapshot().lock_acquires, 20000u);
+}
+
+TEST(DeviceLockTest, BackoffUnderHeavyContentionStaysExact) {
+  // Many more virtual threads than workers, all hammering one lock: the
+  // bounded-exponential-backoff path must preserve mutual exclusion and
+  // exact accounting.
+  ThreadPool pool(8);
+  RunStats stats;
+  DeviceLock lock;
+  std::int64_t counter = 0;  // protected by `lock`
+  launch(pool, stats, 50000,
+         [&](std::size_t) {
+           DeviceLockGuard g(lock, stats);
+           ++counter;
+         },
+         {.grid_threads = 512});
+  EXPECT_EQ(counter, 50000);
+  EXPECT_EQ(stats.snapshot().lock_acquires, 50000u);
+}
+
+TEST(DeviceLockTest, ContendedAcquireBacksOffUntilReleased) {
+  // Deterministic contention (host core count notwithstanding): the main
+  // thread holds the lock until the waiter has provably entered the backoff
+  // loop (lock_contended is recorded before the first retry spin).
+  RunStats stats;
+  DeviceLock lock;
+  lock.lock(stats);
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    lock.lock(stats);
+    acquired.store(true, std::memory_order_release);
+    lock.unlock();
+  });
+  while (stats.snapshot().lock_contended == 0) std::this_thread::yield();
+  // The waiter is spinning in the backoff loop; mutual exclusion holds.
+  EXPECT_FALSE(acquired.load(std::memory_order_acquire));
+  lock.unlock();
+  waiter.join();
+  EXPECT_TRUE(acquired.load(std::memory_order_acquire));
+  EXPECT_EQ(stats.snapshot().lock_acquires, 2u);
+  EXPECT_EQ(stats.snapshot().lock_contended, 1u);
 }
 
 TEST(DeviceLockTest, TryLockReportsHeldState) {

@@ -34,7 +34,7 @@ TEST(HashTableConfigTest, RejectsNonPowerOfTwoBuckets) {
   Rig rig(4u << 20);
   auto cfg = small_cfg(Organization::kBasic);
   cfg.num_buckets = 1000;
-  EXPECT_THROW(SepoHashTable(rig.dev, rig.pool, rig.stats, cfg),
+  EXPECT_THROW(SepoHashTable(rig.ctx, cfg),
                std::invalid_argument);
 }
 
@@ -42,7 +42,7 @@ TEST(HashTableConfigTest, RejectsCombiningWithoutCombiner) {
   Rig rig(4u << 20);
   auto cfg = small_cfg(Organization::kCombining);
   cfg.combiner = nullptr;
-  EXPECT_THROW(SepoHashTable(rig.dev, rig.pool, rig.stats, cfg),
+  EXPECT_THROW(SepoHashTable(rig.ctx, cfg),
                std::invalid_argument);
 }
 
@@ -50,21 +50,21 @@ TEST(HashTableConfigTest, RejectsZeroBucketsPerGroup) {
   Rig rig(4u << 20);
   auto cfg = small_cfg(Organization::kBasic);
   cfg.buckets_per_group = 0;
-  EXPECT_THROW(SepoHashTable(rig.dev, rig.pool, rig.stats, cfg),
+  EXPECT_THROW(SepoHashTable(rig.ctx, cfg),
                std::invalid_argument);
 }
 
 TEST(HashTableConfigTest, HeapTakesAllRemainingMemory) {
   Rig rig(8u << 20);
   auto cfg = small_cfg(Organization::kBasic);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
   // Heap pages cover (almost all) remaining memory after static structures.
   EXPECT_GT(ht.page_pool().heap_bytes(), (8u << 20) / 2);
 }
 
 TEST(CombiningTest, DuplicateKeysAreSummed) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kCombining));
   ht.begin_iteration();
   EXPECT_EQ(ht.insert_u64("alpha", 1), Status::kSuccess);
@@ -80,7 +80,7 @@ TEST(CombiningTest, DuplicateKeysAreSummed) {
 
 TEST(CombiningTest, CombineCountersAreRecorded) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kCombining));
   ht.begin_iteration();
   for (int i = 0; i < 10; ++i) ASSERT_EQ(ht.insert_u64("k", 1), Status::kSuccess);
@@ -92,7 +92,7 @@ TEST(CombiningTest, CombineCountersAreRecorded) {
 
 TEST(CombiningTest, ResidentChainHistogramCoversEntries) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kCombining));
   ht.begin_iteration();
   for (int i = 0; i < 200; ++i)
@@ -111,7 +111,7 @@ TEST(CombiningTest, ResidentChainHistogramCoversEntries) {
 
 TEST(BasicTest, DuplicateKeysKeptSeparately) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kBasic));
   ht.begin_iteration();
   EXPECT_EQ(ht.insert_u64("dup", 1), Status::kSuccess);
@@ -129,7 +129,7 @@ TEST(BasicTest, DuplicateKeysKeptSeparately) {
 TEST(BasicTest, NoProbeWorkOnInsert) {
   // The basic organization never traverses the chain on insert.
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kBasic));
   ht.begin_iteration();
   for (int i = 0; i < 100; ++i) ASSERT_EQ(ht.insert_u64("same-key", 1), Status::kSuccess);
@@ -139,7 +139,7 @@ TEST(BasicTest, NoProbeWorkOnInsert) {
 
 TEST(MultiValuedTest, ValuesGroupUnderOneKey) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kMultiValued));
   ht.begin_iteration();
   auto ins = [&](std::string_view k, std::string_view v) {
@@ -162,7 +162,7 @@ TEST(MultiValuedTest, ValuesGroupUnderOneKey) {
 
 TEST(MultiValuedTest, MissingKeyGroupLookupIsNull) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kMultiValued));
   ht.begin_iteration();
   ht.end_iteration();
@@ -179,7 +179,7 @@ TEST(PostponeTest, InsertPostponesWhenHeapExhausted) {
   cfg.buckets_per_group = 64;  // one group -> one active page
   cfg.page_size = 1u << 10;
   cfg.heap_bytes = 2u << 10;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
   ht.begin_iteration();
   int successes = 0, postpones = 0;
   for (int i = 0; i < 200; ++i) {
@@ -204,7 +204,7 @@ TEST(PostponeTest, CombiningStillCombinesAfterHeapFull) {
   cfg.buckets_per_group = 64;
   cfg.page_size = 1u << 10;
   cfg.heap_bytes = 1u << 10;  // one page
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
   ht.begin_iteration();
   ASSERT_EQ(ht.insert_u64("resident", 1), Status::kSuccess);
   // Exhaust the heap with unique keys.
@@ -222,7 +222,7 @@ TEST(PostponeTest, CombiningStillCombinesAfterHeapFull) {
 
 TEST(VariableLengthTest, KeysAndValuesOfManySizes) {
   Rig rig(16u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kBasic));
   ht.begin_iteration();
   std::map<std::string, std::string> ref;
@@ -245,7 +245,7 @@ TEST(VariableLengthTest, KeysAndValuesOfManySizes) {
 
 TEST(ConcurrencyTest, ParallelCombiningMatchesSerialSum) {
   Rig rig(32u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kCombining));
   ht.begin_iteration();
   constexpr std::size_t kN = 20000;
@@ -266,7 +266,7 @@ TEST(ConcurrencyTest, ParallelCombiningMatchesSerialSum) {
 
 TEST(FindResidentTest, FindsOnlyResidentEntries) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kCombining));
   ht.begin_iteration();
   ASSERT_EQ(ht.insert_u64("here", 5), Status::kSuccess);
@@ -282,7 +282,7 @@ TEST(FindResidentTest, FindsOnlyResidentEntries) {
 
 TEST(TableStatsTest, TracksResidentAndFlushedBytes) {
   Rig rig(8u << 20);
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats,
+  SepoHashTable ht(rig.ctx,
                    small_cfg(Organization::kCombining));
   ht.begin_iteration();
   ASSERT_EQ(ht.insert_u64("a", 1), Status::kSuccess);

@@ -82,7 +82,7 @@ struct RuntimeRig {
     cfg.table.num_buckets = 1u << 10;
     cfg.table.buckets_per_group = 128;
     cfg.table.page_size = 2u << 10;
-    runtime = std::make_unique<MapReduceRuntime>(rig.dev, rig.pool, rig.stats,
+    runtime = std::make_unique<MapReduceRuntime>(rig.ctx,
                                                  cfg);
   }
 
@@ -224,7 +224,7 @@ TEST(PhoenixTest, MapGroupKeepsEveryValue) {
 
 TEST(MapCgTest, WordCountReducesCorrectly) {
   Rig rig(2u << 20);
-  baselines::MapCgRuntime mapcg(rig.dev, rig.pool, rig.stats,
+  baselines::MapCgRuntime mapcg(rig.ctx,
                                 {.num_buckets = 1u << 10});
   const std::string input = word_input(1500, 150, 6);
   mapcg.run(input, {.mode = Mode::kMapReduce, .map = map_words,
@@ -243,7 +243,7 @@ TEST(MapCgTest, WordCountReducesCorrectly) {
 
 TEST(MapCgTest, FailsWhenDeviceMemoryExhausted) {
   Rig rig(96u << 10);  // tiny device
-  baselines::MapCgRuntime mapcg(rig.dev, rig.pool, rig.stats,
+  baselines::MapCgRuntime mapcg(rig.ctx,
                                 {.num_buckets = 256});
   const std::string input = word_input(4000, 4000, 7);
   EXPECT_THROW(mapcg.run(input, {.mode = Mode::kMapReduce, .map = map_words,
@@ -253,7 +253,7 @@ TEST(MapCgTest, FailsWhenDeviceMemoryExhausted) {
 
 TEST(MapCgTest, GroupModeKeepsValueLists) {
   Rig rig(2u << 20);
-  baselines::MapCgRuntime mapcg(rig.dev, rig.pool, rig.stats,
+  baselines::MapCgRuntime mapcg(rig.ctx,
                                 {.num_buckets = 256});
   std::ostringstream os;
   for (int i = 0; i < 500; ++i) os << "v" << i << " k" << (i % 5) << "\n";

@@ -247,6 +247,56 @@ TEST_F(TracedRun, TraceJsonIsChromeLoadable) {
   EXPECT_GE(metadata, 2u);  // process_name + at least one thread_name
 }
 
+TEST_F(TracedRun, H2dStagingOverlapsComputeInTrace) {
+  // BigKernel double-buffering must be visible in the trace: some staging
+  // copy runs concurrently with some kernel (the intervals intersect with
+  // positive measure). The old analytic model assumed this; the timeline
+  // has to earn it from the ring dependencies.
+  std::vector<const TraceRecorder::Span*> kernels, h2d;
+  for (const auto& s : rec().spans()) {
+    if (s.track == TraceRecorder::kTrackKernel) kernels.push_back(&s);
+    if (s.track == TraceRecorder::kTrackH2d) h2d.push_back(&s);
+  }
+  ASSERT_GT(kernels.size(), 1u);
+  ASSERT_GT(h2d.size(), 1u);
+  bool overlapped = false;
+  for (const auto* c : h2d)
+    for (const auto* k : kernels) {
+      const double lo = std::max(c->ts_us, k->ts_us);
+      const double hi =
+          std::min(c->ts_us + c->dur_us, k->ts_us + k->dur_us);
+      if (hi - lo > 1e-9) overlapped = true;
+    }
+  EXPECT_TRUE(overlapped);
+}
+
+TEST(MetricsDeterminism, IdenticalRunsExportBitIdenticalJson) {
+  // Two identical runs must serialize to byte-identical metrics JSON.
+  // pool_workers=1 pins the host interleaving (lock_contended and
+  // atomic_retries are scheduling-dependent with more workers); the host
+  // wall clock is zeroed as the one intentionally host-dependent field.
+  auto run_once = [] {
+    const auto& app = apps::word_count_app();
+    const std::string input = app.generate(128u << 10, 13);
+    GpuConfig cfg = small_gpu();
+    cfg.pool_workers = 1;
+    RunResult r = apps::run_mr_sepo(app, input, cfg);
+    r.wall_seconds = 0;
+    return r;
+  };
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+
+  MetricsReport ra("determinism"), rb("determinism");
+  ra.add_run("wc", a);
+  rb.add_run("wc", b);
+  EXPECT_EQ(ra.to_json().dump(2), rb.to_json().dump(2));
+  // The timeline itself is part of that guarantee.
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.timeline.total, b.timeline.total);
+  EXPECT_EQ(a.timeline.commands, b.timeline.commands);
+}
+
 TEST(TraceDeterminism, SimulatedResultsIdenticalWithAndWithoutTracing) {
   const auto& app = apps::word_count_app();
   const std::string input = app.generate(256u << 10, 11);

@@ -50,7 +50,7 @@ TEST_P(TableSweep, MatchesSequentialReference) {
   pcfg.records_per_chunk = 256;
   pcfg.max_chunk_bytes = 24u << 10;
   pcfg.num_staging_buffers = 2;
-  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
 
   HashTableConfig cfg;
   cfg.org = org;
@@ -58,7 +58,7 @@ TEST_P(TableSweep, MatchesSequentialReference) {
   cfg.buckets_per_group = std::max(1u, (1u << buckets_log2) / 16);
   cfg.page_size = std::size_t{1} << page_log2;
   if (org == Organization::kCombining) cfg.combiner = combine_sum_u64;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
 
   const std::string input = sweep_input(6000, 1000 + buckets_log2);
   const RecordIndex idx = index_lines(input);
@@ -152,7 +152,7 @@ TEST(BinarySafetyTest, KeysAndValuesWithEmbeddedNulsAndHighBytes) {
   cfg.buckets_per_group = 32;
   cfg.page_size = 2u << 10;
   cfg.org = Organization::kBasic;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
   ht.begin_iteration();
 
   const std::string k1("\0\x01\xff key", 9);
@@ -179,7 +179,7 @@ TEST(BinarySafetyTest, EmptyKeyIsAValidKey) {
   cfg.buckets_per_group = 8;
   cfg.page_size = 1u << 10;
   cfg.combiner = combine_sum_u64;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
   ht.begin_iteration();
   ASSERT_EQ(ht.insert_u64("", 5), Status::kSuccess);
   ASSERT_EQ(ht.insert_u64("", 6), Status::kSuccess);
@@ -197,13 +197,13 @@ TEST_P(WorkerSweep, DriverConvergesAndCountsMatch) {
   pcfg.records_per_chunk = 128;
   pcfg.max_chunk_bytes = 8u << 10;
   pcfg.num_staging_buffers = 2;
-  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
   HashTableConfig cfg;
   cfg.num_buckets = 1u << 9;
   cfg.buckets_per_group = 32;
   cfg.page_size = 2u << 10;
   cfg.combiner = combine_sum_u64;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
 
   Rng rng(GetParam());
   std::ostringstream os;

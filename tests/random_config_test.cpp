@@ -59,14 +59,14 @@ TEST_P(RandomConfig, GpuPathMatchesBuilderReference) {
   pcfg.records_per_chunk = 64 + rng.below(512);
   pcfg.max_chunk_bytes = 16u << 10;
   pcfg.num_staging_buffers = 1 + rng.below(3);
-  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
   HashTableConfig cfg;
   cfg.org = org;
   cfg.num_buckets = num_buckets;
   cfg.buckets_per_group = bpg;
   cfg.page_size = page_size;
   if (org == Organization::kCombining) cfg.combiner = combine_sum_u64;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
   ProgressTracker progress(idx.size());
   SepoDriver driver;
   (void)driver.run(ht, pipe, input, idx, progress,

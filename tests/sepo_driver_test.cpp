@@ -47,8 +47,7 @@ struct DriverRig {
     pcfg.records_per_chunk = 512;
     pcfg.max_chunk_bytes = 16u << 10;
     pcfg.num_staging_buffers = 2;
-    pipe = std::make_unique<bigkernel::InputPipeline>(rig.dev, rig.pool,
-                                                      rig.stats, pcfg);
+    pipe = std::make_unique<bigkernel::InputPipeline>(rig.ctx, pcfg);
     HashTableConfig cfg;
     cfg.org = org;
     cfg.num_buckets = 1u << 10;
@@ -56,7 +55,7 @@ struct DriverRig {
     cfg.page_size = page_size;
     cfg.heap_bytes = heap_bytes;
     if (org == Organization::kCombining) cfg.combiner = combine_sum_u64;
-    ht = std::make_unique<SepoHashTable>(rig.dev, rig.pool, rig.stats, cfg);
+    ht = std::make_unique<SepoHashTable>(rig.ctx, cfg);
   }
 
   Rig rig;

@@ -27,14 +27,13 @@ struct PopulatedTable {
     pcfg.records_per_chunk = 512;
     pcfg.max_chunk_bytes = 32u << 10;
     pcfg.num_staging_buffers = 2;
-    pipe = std::make_unique<bigkernel::InputPipeline>(rig.dev, rig.pool,
-                                                      rig.stats, pcfg);
+    pipe = std::make_unique<bigkernel::InputPipeline>(rig.ctx, pcfg);
     HashTableConfig cfg;
     cfg.num_buckets = 1u << 10;
     cfg.buckets_per_group = 128;
     cfg.page_size = 2u << 10;
     cfg.combiner = combine_sum_u64;
-    ht = std::make_unique<SepoHashTable>(rig.dev, rig.pool, rig.stats, cfg);
+    ht = std::make_unique<SepoHashTable>(rig.ctx, cfg);
 
     Rng rng(seed);
     std::ostringstream os;
@@ -71,7 +70,7 @@ TEST(SepoLookupTest, AnswersEveryQueryCorrectly) {
 
   // Lookups run on a fresh, smaller device — the table must not fit.
   Rig rig(64u << 10);
-  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  SepoLookupEngine engine(rig.ctx, *pt.table);
   ASSERT_GT(engine.segment_count(), 1u)
       << "table must span multiple segments for this test";
 
@@ -105,7 +104,7 @@ TEST(SepoLookupTest, AnswersEveryQueryCorrectly) {
 TEST(SepoLookupTest, PostponesQueriesForNonResidentSegments) {
   PopulatedTable pt(448u << 10, 12000, 3);
   Rig rig(96u << 10);
-  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  SepoLookupEngine engine(rig.ctx, *pt.table);
   std::vector<std::string> queries{"key-1", "key-2", "key-3", "key-4"};
   std::vector<std::optional<std::vector<std::byte>>> out;
   (void)engine.lookup_values(queries, out);
@@ -117,7 +116,7 @@ TEST(SepoLookupTest, PostponesQueriesForNonResidentSegments) {
 TEST(SepoLookupTest, SegmentsWithoutQueriesAreSkipped) {
   PopulatedTable pt(448u << 10, 12000, 4);
   Rig rig(64u << 10);
-  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  SepoLookupEngine engine(rig.ctx, *pt.table);
   ASSERT_GT(engine.segment_count(), 2u);
   // One query -> exactly one segment is relevant; the rest must be skipped
   // without staging.
@@ -134,7 +133,7 @@ TEST(SepoLookupTest, SegmentsWithoutQueriesAreSkipped) {
 TEST(SepoLookupTest, StagingIsMeteredAsBulkTransfers) {
   PopulatedTable pt(512u << 10, 4000, 5);
   Rig rig(128u << 10);
-  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  SepoLookupEngine engine(rig.ctx, *pt.table);
   std::vector<std::string> queries;
   for (int i = 0; i < 500; ++i) queries.push_back("key-" + std::to_string(i));
   std::vector<std::optional<std::vector<std::byte>>> out;
@@ -151,13 +150,13 @@ TEST(SepoLookupTest, GroupLookupsOnMultiValuedTable) {
   pcfg.records_per_chunk = 256;
   pcfg.max_chunk_bytes = 16u << 10;
   pcfg.num_staging_buffers = 2;
-  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
   HashTableConfig cfg;
   cfg.org = Organization::kMultiValued;
   cfg.num_buckets = 1u << 9;
   cfg.buckets_per_group = 64;
   cfg.page_size = 2u << 10;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
 
   std::ostringstream os;
   std::map<std::string, std::multiset<std::string>> ref;
@@ -182,7 +181,7 @@ TEST(SepoLookupTest, GroupLookupsOnMultiValuedTable) {
   const HostTable table = ht.finalize();
 
   Rig lrig(64u << 10);
-  SepoLookupEngine engine(lrig.dev, lrig.pool, lrig.stats, table);
+  SepoLookupEngine engine(lrig.ctx, table);
   std::vector<std::string> queries{"grp-0", "grp-299", "grp-77", "absent"};
   std::vector<std::optional<std::vector<std::vector<std::byte>>>> out;
   const LookupBatchResult res = engine.lookup_groups(queries, out);
@@ -202,7 +201,7 @@ TEST(SepoLookupTest, GroupLookupsOnMultiValuedTable) {
 TEST(SepoLookupTest, WrongOrganizationRejected) {
   PopulatedTable pt(512u << 10, 100, 6);
   Rig rig(64u << 10);
-  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  SepoLookupEngine engine(rig.ctx, *pt.table);
   std::vector<std::string> queries{"key-1"};
   std::vector<std::optional<std::vector<std::vector<std::byte>>>> out;
   EXPECT_THROW((void)engine.lookup_groups(queries, out), std::logic_error);
@@ -211,7 +210,7 @@ TEST(SepoLookupTest, WrongOrganizationRejected) {
 TEST(SepoLookupTest, EmptyQueryBatch) {
   PopulatedTable pt(512u << 10, 100, 7);
   Rig rig(64u << 10);
-  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *pt.table);
+  SepoLookupEngine engine(rig.ctx, *pt.table);
   std::vector<std::string> queries;
   std::vector<std::optional<std::vector<std::byte>>> out;
   const LookupBatchResult res = engine.lookup_values(queries, out);

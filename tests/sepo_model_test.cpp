@@ -63,14 +63,14 @@ TEST(MultiValuedValveTest, ConvergesDespiteKeyPagePressure) {
   pcfg.records_per_chunk = 256;
   pcfg.max_chunk_bytes = 8u << 10;
   pcfg.num_staging_buffers = 2;
-  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
 
   HashTableConfig cfg;
   cfg.org = Organization::kMultiValued;
   cfg.num_buckets = 1u << 10;
   cfg.buckets_per_group = 16;  // 64 groups x 2 classes >> pool pages
   cfg.page_size = 2u << 10;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
 
   Rng rng(99);
   std::ostringstream os;
@@ -109,7 +109,7 @@ TEST(MultiValuedValveTest, CapZeroFlushesEveryIteration) {
   pcfg.records_per_chunk = 256;
   pcfg.max_chunk_bytes = 8u << 10;
   pcfg.num_staging_buffers = 2;
-  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
 
   HashTableConfig cfg;
   cfg.org = Organization::kMultiValued;
@@ -117,7 +117,7 @@ TEST(MultiValuedValveTest, CapZeroFlushesEveryIteration) {
   cfg.buckets_per_group = 256;
   cfg.page_size = 2u << 10;
   cfg.max_resident_key_frac = 0.0;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
 
   std::ostringstream os;
   for (int i = 0; i < 6000; ++i) os << "K" << (i % 200) << " V" << i << '\n';
@@ -153,14 +153,14 @@ TEST(HostTableCanonTest, MergedDuplicatesAreCounted) {
   pcfg.records_per_chunk = 64;
   pcfg.max_chunk_bytes = 8u << 10;
   pcfg.num_staging_buffers = 2;
-  bigkernel::InputPipeline pipe(rig.dev, rig.pool, rig.stats, pcfg);
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
 
   HashTableConfig cfg;
   cfg.num_buckets = 1u << 8;
   cfg.buckets_per_group = 64;
   cfg.page_size = 2u << 10;
   cfg.combiner = combine_sum_u64;
-  SepoHashTable ht(rig.dev, rig.pool, rig.stats, cfg);
+  SepoHashTable ht(rig.ctx, cfg);
 
   // Records emit 8 pairs each over a small key universe.
   std::ostringstream os;

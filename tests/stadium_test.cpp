@@ -18,7 +18,7 @@ using test::as_u64;
 
 TEST(StadiumTest, StoresAndFindsAllDuplicates) {
   Rig rig(1u << 20);
-  StadiumHashTable t(rig.dev, rig.stats, {.num_buckets = 256});
+  StadiumHashTable t(rig.ctx, {.num_buckets = 256});
   t.insert_u64("dup", 1);
   t.insert_u64("dup", 2);
   t.insert_u64("other", 3);
@@ -32,7 +32,7 @@ TEST(StadiumTest, StoresAndFindsAllDuplicates) {
 
 TEST(StadiumTest, InsertIsExactlyOneRemoteTransaction) {
   Rig rig(1u << 20);
-  StadiumHashTable t(rig.dev, rig.stats, {.num_buckets = 256});
+  StadiumHashTable t(rig.ctx, {.num_buckets = 256});
   for (int i = 0; i < 100; ++i) t.insert_u64("k" + std::to_string(i), 1);
   // The device-resident fingerprint index absorbs all probing; only the
   // entry store crosses the bus.
@@ -41,7 +41,7 @@ TEST(StadiumTest, InsertIsExactlyOneRemoteTransaction) {
 
 TEST(StadiumTest, LookupsTouchHostOnlyOnFingerprintMatches) {
   Rig rig(1u << 20);
-  StadiumHashTable t(rig.dev, rig.stats, {.num_buckets = 1});  // one bucket
+  StadiumHashTable t(rig.ctx, {.num_buckets = 1});  // one bucket
   for (int i = 0; i < 200; ++i) t.insert_u64("k" + std::to_string(i), 1);
   const auto before = rig.dev.bus().snapshot().remote_txns;
   (void)t.lookup_all("k7");
@@ -55,7 +55,7 @@ TEST(StadiumTest, LookupsTouchHostOnlyOnFingerprintMatches) {
 
 TEST(StadiumTest, MatchesBasicReferenceDigest) {
   Rig rig(2u << 20);
-  StadiumHashTable stadium(rig.dev, rig.stats, {.num_buckets = 1u << 10});
+  StadiumHashTable stadium(rig.ctx, {.num_buckets = 1u << 10});
   gpusim::RunStats cpu_stats;
   CpuHashTableConfig ccfg;
   ccfg.org = core::Organization::kBasic;
@@ -77,7 +77,7 @@ TEST(StadiumTest, MatchesBasicReferenceDigest) {
 
 TEST(StadiumTest, IndexExhaustsDeviceMemoryWithoutSepo) {
   Rig rig(64u << 10);  // tiny device: heads + a few index blocks only
-  StadiumHashTable t(rig.dev, rig.stats, {.num_buckets = 256});
+  StadiumHashTable t(rig.ctx, {.num_buckets = 256});
   bool threw = false;
   try {
     for (int i = 0; i < 200000; ++i) t.insert_u64("k" + std::to_string(i), 1);

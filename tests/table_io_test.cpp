@@ -173,7 +173,7 @@ TEST(SnapshotTest, LoadedTableWorksWithLookupEngine) {
   const LoadedTable loaded = load_snapshot(ss);
 
   Rig rig(96u << 10);
-  SepoLookupEngine engine(rig.dev, rig.pool, rig.stats, *loaded.table);
+  SepoLookupEngine engine(rig.ctx, *loaded.table);
   EXPECT_GT(engine.segment_count(), 1u);
   std::vector<std::string> queries{"key-0", "key-8999", "key-9000"};
   std::vector<std::optional<std::vector<std::byte>>> out;

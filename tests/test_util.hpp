@@ -11,11 +11,13 @@
 
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/thread_pool.hpp"
 
 namespace sepo::test {
 
-// A bundled virtual device + pool + stats with a configurable capacity.
+// A bundled virtual device + pool + stats + execution context with a
+// configurable capacity.
 struct Rig {
   explicit Rig(std::size_t device_bytes, std::size_t workers = 0)
       : dev(device_bytes), pool(workers) {}
@@ -23,6 +25,7 @@ struct Rig {
   gpusim::Device dev;
   gpusim::ThreadPool pool;
   gpusim::RunStats stats;
+  gpusim::ExecContext ctx{dev, pool, stats};
 };
 
 inline std::span<const std::byte> bytes_of(const std::uint64_t& v) {

@@ -393,6 +393,10 @@ std::vector<std::string> check_metrics(const obs::Json& m) {
     if (!r["impl"].is_string()) problems.push_back(where + ".impl missing");
     if (!r["sim_seconds"].is_number() || r["sim_seconds"].as_double() <= 0)
       problems.push_back(where + ".sim_seconds missing or non-positive");
+    if (!r["sim_seconds_analytic"].is_number())
+      problems.push_back(where + ".sim_seconds_analytic missing");
+    if (!r["timeline"].is_object())
+      problems.push_back(where + ".timeline missing");
     if (!r["wall_seconds_host"].is_number())
       problems.push_back(where + ".wall_seconds_host missing");
     if (r["checksum_hex"].as_string().size() != 16)

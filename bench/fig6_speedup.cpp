@@ -7,22 +7,27 @@
 // on top of each bar in the paper's figure). Result checksums of the two
 // implementations are cross-validated on every run.
 //
-//   fig6_speedup [--tiny] [--metrics-out=FILE] [--trace-out=FILE]
+//   fig6_speedup [--tiny] [--fault-* ...] [--metrics-out=FILE] [--trace-out=FILE]
 //
 // --tiny restricts to dataset #1 (the ctest metrics fixture uses it);
-// --metrics-out writes the full per-run telemetry (EXPERIMENTS.md
-// "BENCH_*.json"); --trace-out records the GPU runs onto one simulated
-// timeline, one section per (app, dataset).
+// --fault-* flags (see sepo_cli usage) enable seeded fault injection on the
+// GPU runs — the chaos fixture exercises this: under transfer faults the
+// SEPO result must still digest-match the CPU baseline; --metrics-out
+// writes the full per-run telemetry (EXPERIMENTS.md "BENCH_*.json");
+// --trace-out records the GPU runs onto one simulated timeline, one section
+// per (app, dataset). Exits 1 on any digest MISMATCH.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "apps/datagen.hpp"
 #include "apps/mr_apps.hpp"
 #include "apps/standalone_app.hpp"
 #include "common/table_printer.hpp"
+#include "gpusim/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -39,23 +44,26 @@ struct Row {
 };
 
 Row run_standalone(const StandaloneApp& app, int dataset,
-                   obs::TraceRecorder* rec) {
+                   const gpusim::FaultConfig& faults, obs::TraceRecorder* rec) {
   const std::size_t bytes = table1_bytes(app.table1_key(), dataset);
   const std::string input = app.generate(bytes, 1000 + dataset);
   if (rec) rec->begin_section(std::string(app.name()) + " #" +
                               std::to_string(dataset));
   GpuConfig gcfg;
+  gcfg.faults = faults;
   gcfg.trace = rec;
   return {app.name(), dataset, input.size(), app.run_gpu(input, gcfg),
           app.run_cpu(input)};
 }
 
-Row run_mr(const MrApp& app, int dataset, obs::TraceRecorder* rec) {
+Row run_mr(const MrApp& app, int dataset, const gpusim::FaultConfig& faults,
+           obs::TraceRecorder* rec) {
   const std::size_t bytes = table1_bytes(app.table1_key, dataset);
   const std::string input = app.generate(bytes, 2000 + dataset);
   if (rec) rec->begin_section(std::string(app.name) + " #" +
                               std::to_string(dataset));
   GpuConfig gcfg;
+  gcfg.faults = faults;
   gcfg.trace = rec;
   return {app.name, dataset, input.size(), run_mr_sepo(app, input, gcfg),
           run_mr_phoenix(app, input)};
@@ -66,8 +74,30 @@ Row run_mr(const MrApp& app, int dataset, obs::TraceRecorder* rec) {
 int main(int argc, char** argv) {
   const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
   bool tiny = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  gpusim::FaultConfig faults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tiny") {
+      tiny = true;
+    } else if (a.rfind("--fault-", 0) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", a.c_str());
+        return 1;
+      }
+      try {
+        if (!gpusim::apply_fault_flag(faults, a, argv[++i])) {
+          std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+          return 1;
+        }
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      return 1;
+    }
+  }
   const int max_dataset = tiny ? 1 : 4;
 
   std::printf("== Figure 6: speedup over CPU multi-threaded baseline "
@@ -88,19 +118,22 @@ int main(int argc, char** argv) {
     const StandaloneApp* standalone[] = {&netflix, &dna, &pvc, &ii};
     for (const StandaloneApp* app : standalone)
       for (int d = 1; d <= max_dataset; ++d)
-        rows.push_back(run_standalone(*app, d, rec.get()));
+        rows.push_back(run_standalone(*app, d, faults, rec.get()));
   }
   for (const MrApp* app :
        {&word_count_app(), &patent_citation_app(), &geo_location_app()})
     for (int d = 1; d <= max_dataset; ++d)
-      rows.push_back(run_mr(*app, d, rec.get()));
+      rows.push_back(run_mr(*app, d, faults, rec.get()));
 
   TablePrinter table({"app", "dataset", "input", "iterations", "table/heap",
                       "gpu sim (ms)", "cpu sim (ms)", "speedup", "results"});
   double sum_speedup = 0;
+  int mismatches = 0;
   for (const Row& r : rows) {
     const double speedup = r.cpu.sim_seconds / r.gpu.sim_seconds;
     sum_speedup += speedup;
+    const bool ok = !r.gpu.error && r.gpu.checksum == r.cpu.checksum;
+    if (!ok) ++mismatches;
     table.add_row(
         {r.app, "#" + std::to_string(r.dataset),
          TablePrinter::fmt_bytes(r.input_bytes),
@@ -111,7 +144,8 @@ int main(int argc, char** argv) {
          TablePrinter::fmt(r.gpu.sim_seconds * 1e3, 3),
          TablePrinter::fmt(r.cpu.sim_seconds * 1e3, 3),
          TablePrinter::fmt(speedup, 2),
-         r.gpu.checksum == r.cpu.checksum ? "match" : "MISMATCH"});
+         r.gpu.error ? r.gpu.error.kind_name()
+                     : (ok ? "match" : "MISMATCH")});
   }
   table.print(std::cout);
   std::printf("\naverage speedup: %.2f (paper reports 3.5 on average)\n",
@@ -150,6 +184,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "trace written to %s\n", out.trace_path.c_str());
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%d run(s) failed or mismatched the CPU baseline\n",
+                 mismatches);
+    return 1;
   }
   return 0;
 }

@@ -19,6 +19,7 @@
 
 #include "apps/standalone_app.hpp"
 #include "bigkernel/pipeline.hpp"
+#include "common/parse.hpp"
 #include "core/sepo_driver.hpp"
 #include "core/sepo_lookup.hpp"
 #include "gpusim/device.hpp"
@@ -31,7 +32,15 @@ constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
 
 int main(int argc, char** argv) {
   using namespace sepo;
-  const double mb = argc > 1 ? std::atof(argv[1]) : 3.0;
+  double mb = 3.0;
+  if (argc > 1) {
+    const auto parsed = parse_number<double>(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "invalid input_megabytes: '%s'\n", argv[1]);
+      return 1;
+    }
+    mb = *parsed;
+  }
 
   apps::DnaAssemblyApp app;
   std::printf("generating ~%.1f MiB of reads...\n", mb);

@@ -11,6 +11,7 @@
 
 #include "apps/standalone_app.hpp"
 #include "bigkernel/pipeline.hpp"
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 #include "core/sepo_driver.hpp"
 #include "gpusim/device.hpp"
@@ -19,7 +20,15 @@
 
 int main(int argc, char** argv) {
   using namespace sepo;
-  const double mb = argc > 1 ? std::atof(argv[1]) : 3.0;
+  double mb = 3.0;
+  if (argc > 1) {
+    const auto parsed = parse_number<double>(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "invalid input_megabytes: '%s'\n", argv[1]);
+      return 1;
+    }
+    mb = *parsed;
+  }
 
   apps::InvertedIndexApp app;
   std::printf("generating ~%.1f MiB of HTML pages...\n", mb);

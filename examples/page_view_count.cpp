@@ -13,11 +13,20 @@
 
 #include "apps/standalone_app.hpp"
 #include "baselines/cpu_hash_table.hpp"
+#include "common/parse.hpp"
 #include "common/strings.hpp"
 
 int main(int argc, char** argv) {
   using namespace sepo;
-  const double mb = argc > 1 ? std::atof(argv[1]) : 4.0;
+  double mb = 4.0;
+  if (argc > 1) {
+    const auto parsed = parse_number<double>(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "invalid input_megabytes: '%s'\n", argv[1]);
+      return 1;
+    }
+    mb = *parsed;
+  }
 
   apps::PageViewCountApp app;
   std::printf("generating ~%.1f MiB of web log...\n", mb);

@@ -15,13 +15,22 @@
 
 #include "apps/mr_apps.hpp"
 #include "baselines/phoenix.hpp"
+#include "common/parse.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/exec_context.hpp"
 #include "mapreduce/runtime.hpp"
 
 int main(int argc, char** argv) {
   using namespace sepo;
-  const double mb = argc > 1 ? std::atof(argv[1]) : 2.0;
+  double mb = 2.0;
+  if (argc > 1) {
+    const auto parsed = parse_number<double>(argv[1]);
+    if (!parsed) {
+      std::fprintf(stderr, "invalid input_megabytes: '%s'\n", argv[1]);
+      return 1;
+    }
+    mb = *parsed;
+  }
 
   const apps::MrApp& wc = apps::word_count_app();
   std::printf("generating ~%.1f MiB of text...\n", mb);

@@ -1,6 +1,8 @@
 #include "alloc/page_pool.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace sepo::alloc {
 
@@ -19,7 +21,10 @@ constexpr std::uint32_t head_tag(std::uint64_t h) {
 PagePool::PagePool(gpusim::Device& dev, std::size_t heap_bytes,
                    std::size_t page_size)
     : page_size_(page_size) {
-  assert(page_size >= 64 && (page_size & (page_size - 1)) == 0);
+  if (page_size < 64 || (page_size & (page_size - 1)) != 0)
+    throw std::invalid_argument(
+        "PagePool: page_size must be a power of two >= 64, got " +
+        std::to_string(page_size));
   const std::size_t n = heap_bytes / page_size;
   heap_base_ = dev.alloc_static(n * page_size, /*align=*/64);
   pages_ = std::vector<PageMeta>(n);
@@ -55,10 +60,15 @@ std::uint32_t PagePool::acquire(gpusim::RunStats& stats) noexcept {
   }
 }
 
-void PagePool::release(std::uint32_t page) noexcept {
+bool PagePool::release(std::uint32_t page, gpusim::RunStats* stats) noexcept {
   PageMeta& m = pages_[page];
-  assert(!m.in_pool.load(std::memory_order_relaxed));
-  m.in_pool.store(true, std::memory_order_relaxed);
+  // Claim the release with one atomic swap: of two racing (or sequential)
+  // releases of the same page, exactly one sees in_pool == false and pushes;
+  // the other is rejected instead of corrupting the free stack.
+  if (m.in_pool.exchange(true, std::memory_order_acq_rel)) {
+    if (stats != nullptr) stats->add_page_double_releases();
+    return false;
+  }
   m.host_slot.store(0, std::memory_order_relaxed);
   std::uint64_t h = head_.load(std::memory_order_acquire);
   while (true) {
@@ -67,7 +77,7 @@ void PagePool::release(std::uint32_t page) noexcept {
     if (head_.compare_exchange_weak(h, want, std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
       free_count_.fetch_add(1, std::memory_order_relaxed);
-      return;
+      return true;
     }
   }
 }

@@ -32,7 +32,9 @@ enum class PageClass : std::uint8_t {
 class PagePool {
  public:
   // Claims `heap_bytes` of device memory (use dev.mem_free() for "all that
-  // remains") and partitions it into pages of `page_size` bytes.
+  // remains") and partitions it into pages of `page_size` bytes. Throws
+  // std::invalid_argument unless page_size is a power of two >= 64 — a
+  // mis-sized heap partition must not slip through release builds.
   PagePool(gpusim::Device& dev, std::size_t heap_bytes, std::size_t page_size);
 
   [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
@@ -47,9 +49,11 @@ class PagePool {
   // that makes the hash table POSTPONE inserts).
   std::uint32_t acquire(gpusim::RunStats& stats) noexcept;
 
-  // Returns a page to the pool. A page must not be released twice without an
-  // intervening acquire (checked in debug builds via the in-pool flag).
-  void release(std::uint32_t page) noexcept;
+  // Returns a page to the pool. A double release (no intervening acquire)
+  // would corrupt the free stack and double-count free_count_, so the guard
+  // is unconditional: the losing caller's release is rejected (returns
+  // false), counted in `stats` when provided.
+  bool release(std::uint32_t page, gpusim::RunStats* stats = nullptr) noexcept;
 
   [[nodiscard]] std::uint32_t free_count() const noexcept {
     return free_count_.load(std::memory_order_relaxed);

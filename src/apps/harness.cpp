@@ -38,9 +38,19 @@ void fill_gpu_times(RunResult& r, const gpusim::ExecContext& ctx,
   r.sim_seconds_analytic =
       gpu_sim_seconds(r.stats, bus, r.pcie, r.serial, &r.gpu_breakdown);
   r.timeline = ctx.timeline().summary();
+  r.faults = ctx.timeline().fault_summary();
   r.sim_seconds =
       r.timeline.total +
       gpusim::serialization_time(ctx.timeline().machine(), r.serial);
+}
+
+RunError run_error_from(const std::exception& e) {
+  RunError err;
+  err.kind = dynamic_cast<const gpusim::FaultError*>(&e) != nullptr
+                 ? RunError::Kind::kFaultRetriesExhausted
+                 : RunError::Kind::kDeviceOutOfMemory;
+  err.message = e.what();
+  return err;
 }
 
 }  // namespace sepo::apps

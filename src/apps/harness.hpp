@@ -16,6 +16,7 @@
 #include "gpusim/cost_model.hpp"
 #include "gpusim/counters.hpp"
 #include "gpusim/exec_context.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/pcie.hpp"
 #include "gpusim/stream.hpp"
 #include "gpusim/trace_hook.hpp"
@@ -46,6 +47,9 @@ struct GpuConfig {
   // counters and bus. Null (the default) disables recording entirely;
   // recording never alters counters, so sim_seconds is identical either way.
   gpusim::TraceHook* trace = nullptr;
+  // Fault injection (gpusim::FaultInjector). All rates zero (the default)
+  // keeps the run bit-identical to a build without the injector.
+  gpusim::FaultConfig faults;
 };
 
 struct CpuConfig {
@@ -55,6 +59,36 @@ struct CpuConfig {
   std::uint32_t num_buckets = 1u << 17;
   std::size_t pool_workers = 0;
 };
+
+// How a run failed, when it failed in a way the implementation is expected
+// to surface structurally (rather than abort or return a wrong table).
+// SEPO degrades through postponement, so under memory pressure it simply
+// takes more iterations; the pinned/MapCG/stadium baselines have no
+// postponement story and report one of these instead.
+struct RunError {
+  enum class Kind {
+    kNone = 0,
+    kDeviceOutOfMemory,      // static/arena allocation exceeded the device
+    kFaultRetriesExhausted,  // a faulted operation ran out of retries
+  };
+  Kind kind = Kind::kNone;
+  std::string message;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return kind != Kind::kNone;
+  }
+  [[nodiscard]] const char* kind_name() const noexcept {
+    switch (kind) {
+      case Kind::kDeviceOutOfMemory: return "device_out_of_memory";
+      case Kind::kFaultRetriesExhausted: return "fault_retries_exhausted";
+      case Kind::kNone: break;
+    }
+    return "none";
+  }
+};
+
+// Maps the typed exceptions a run may surface onto a RunError.
+[[nodiscard]] RunError run_error_from(const std::exception& e);
 
 // One measured run of one implementation of one app.
 struct RunResult {
@@ -81,6 +115,10 @@ struct RunResult {
   double wall_seconds = 0;
   gpusim::GpuTimeBreakdown gpu_breakdown{};  // GPU paths only (analytic)
   gpusim::TimelineSummary timeline{};        // GPU paths only (scheduled)
+  gpusim::FaultSummary faults{};             // per-engine fault/retry totals
+  // Structural failure, if any. A set error means the numbers above cover
+  // the run up to the failure point and the table results are not valid.
+  RunError error;
   // Per-SEPO-iteration convergence profiles (SEPO paths; empty otherwise).
   core::IterationProfiles iteration_profiles;
   // Final-table bucket occupancy: [n] = buckets with n entries, last bin

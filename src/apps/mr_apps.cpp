@@ -1,5 +1,8 @@
 #include "apps/mr_apps.hpp"
 
+#include <new>
+#include <optional>
+
 #include "apps/datagen.hpp"
 #include "baselines/mapcg.hpp"
 #include "baselines/phoenix.hpp"
@@ -112,6 +115,11 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
   if (cfg.trace) ctx.set_trace(cfg.trace);
+  std::optional<gpusim::FaultInjector> faults;
+  if (cfg.faults.enabled()) {
+    faults.emplace(cfg.faults);
+    ctx.set_faults(&*faults);
+  }
 
   mapreduce::RuntimeConfig rcfg;
   rcfg.table.num_buckets = cfg.num_buckets;
@@ -120,7 +128,19 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   choose_chunking(index_lines(input), cfg, rcfg.pipeline);
   mapreduce::MapReduceRuntime runtime(ctx, rcfg);
 
-  const mapreduce::RunOutcome out = runtime.run(input, app.spec());
+  mapreduce::RunOutcome out;
+  try {
+    out = runtime.run(input, app.spec());
+  } catch (const gpusim::FaultError& e) {
+    RunResult r;
+    r.impl = "sepo-mr";
+    r.stats = stats.snapshot();
+    r.pcie = dev.bus().snapshot();
+    r.error = run_error_from(e);
+    fill_gpu_times(r, ctx, dev.bus());
+    r.wall_seconds = timer.seconds();
+    return r;
+  }
 
   RunResult r;
   r.impl = "sepo-mr";
@@ -182,14 +202,30 @@ RunResult run_mr_mapcg(const MrApp& app, std::string_view input,
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
+  std::optional<gpusim::FaultInjector> faults;
+  if (cfg.faults.enabled()) {
+    faults.emplace(cfg.faults);
+    ctx.set_faults(&*faults);
+  }
 
   baselines::MapCgConfig mcfg;
   mcfg.num_buckets = cfg.num_buckets;
   baselines::MapCgRuntime mapcg(ctx, mcfg);
-  mapcg.run(input, app.spec());  // throws MapCgOutOfMemory on overflow
 
   RunResult r;
   r.impl = "mapcg";
+  try {
+    mapcg.run(input, app.spec());
+  } catch (const baselines::MapCgOutOfMemory& e) {
+    // MapCG has no SEPO: a table that outgrows the device arena is a
+    // structural failure of the whole run (paper §II).
+    r.error = run_error_from(e);
+  } catch (const gpusim::FaultError& e) {
+    r.error = run_error_from(e);
+  } catch (const std::bad_alloc& e) {
+    r.error = run_error_from(e);
+  }
+
   r.stats = stats.snapshot();
   r.pcie = dev.bus().snapshot();
   const auto load = mapcg.bucket_load();
@@ -197,10 +233,12 @@ RunResult run_mr_mapcg(const MrApp& app, std::string_view input,
               .max_same_lock_ops = load.max_bucket_accesses,
               .serial_atomic_ops = mapcg.serial_atomic_ops()};
   r.iterations = 1;
-  r.keys = mapcg.key_count();
-  r.checksum = app.mode == mapreduce::Mode::kMapGroup
-                   ? digest_groups(MapCgGroupView{mapcg})
-                   : digest_kv(MapCgReducedView{mapcg});
+  if (!r.error) {
+    r.keys = mapcg.key_count();
+    r.checksum = app.mode == mapreduce::Mode::kMapGroup
+                     ? digest_groups(MapCgGroupView{mapcg})
+                     : digest_kv(MapCgReducedView{mapcg});
+  }
   fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
   return r;

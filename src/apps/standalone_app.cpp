@@ -2,6 +2,8 @@
 #include "apps/standalone_app.hpp"
 
 #include <algorithm>
+#include <new>
+#include <optional>
 #include <stdexcept>
 
 #include "baselines/cpu_hash_table.hpp"
@@ -99,6 +101,11 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
   if (cfg.trace) ctx.set_trace(cfg.trace);
+  std::optional<gpusim::FaultInjector> faults;
+  if (cfg.faults.enabled()) {
+    faults.emplace(cfg.faults);
+    ctx.set_faults(&*faults);
+  }
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
@@ -117,14 +124,29 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   ProgressTracker progress(index.size(), /*multi_emit=*/true);
   core::SepoDriver driver({.basic_halt_frac = cfg.basic_halt_frac});
   const bool divergent = divergent_parse();
-  const core::DriverResult dres = driver.run(
-      ht, pipe, input, index, progress,
-      [&](std::size_t rec, std::string_view body) {
-        if (divergent) stats.add_divergent_units(body.size());
-        mapreduce::SepoEmitter em(ht, progress, rec);
-        map_record(body, em);
-        return em.failed() ? core::Status::kPostpone : core::Status::kSuccess;
-      });
+  core::DriverResult dres;
+  try {
+    dres = driver.run(
+        ht, pipe, input, index, progress,
+        [&](std::size_t rec, std::string_view body) {
+          if (divergent) stats.add_divergent_units(body.size());
+          mapreduce::SepoEmitter em(ht, progress, rec);
+          map_record(body, em);
+          return em.failed() ? core::Status::kPostpone : core::Status::kSuccess;
+        });
+  } catch (const gpusim::FaultError& e) {
+    // Transient-fault retry exhaustion is the one adversity SEPO cannot
+    // absorb by postponing; surface it structurally.
+    RunResult r;
+    r.impl = "sepo-gpu";
+    r.stats = stats.snapshot();
+    r.pcie = dev.bus().snapshot();
+    r.heap_bytes = ht.page_pool().heap_bytes();
+    r.error = run_error_from(e);
+    fill_gpu_times(r, ctx, dev.bus());
+    r.wall_seconds = timer.seconds();
+    return r;
+  }
 
   const auto table_stats = ht.table_stats();
   const auto load = ht.bucket_load();
@@ -204,6 +226,11 @@ RunResult StandaloneApp::run_pinned(std::string_view input,
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
   if (cfg.trace) ctx.set_trace(cfg.trace);
+  std::optional<gpusim::FaultInjector> faults;
+  if (cfg.faults.enabled()) {
+    faults.emplace(cfg.faults);
+    ctx.set_faults(&*faults);
+  }
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
@@ -218,28 +245,38 @@ RunResult StandaloneApp::run_pinned(std::string_view input,
 
   ProgressTracker progress(index.size());
   const bool divergent = divergent_parse();
-  const bigkernel::PassResult pass = pipe.run_pass(
-      input, index, progress, [&](std::size_t, std::string_view body) {
-        if (divergent) stats.add_divergent_units(body.size());
-        PinnedEmitter em(table);
-        map_record(body, em);
-        return core::Status::kSuccess;
-      });
-  (void)pass;
-
-  const auto load = table.bucket_load();
   RunResult r;
   r.impl = "pinned";
+  try {
+    const bigkernel::PassResult pass = pipe.run_pass(
+        input, index, progress, [&](std::size_t, std::string_view body) {
+          if (divergent) stats.add_divergent_units(body.size());
+          PinnedEmitter em(table);
+          map_record(body, em);
+          return core::Status::kSuccess;
+        });
+    (void)pass;
+  } catch (const gpusim::FaultError& e) {
+    // No postponement story: a faulted transfer that exhausts its retries
+    // fails the whole run, structurally.
+    r.error = run_error_from(e);
+  } catch (const std::bad_alloc& e) {
+    r.error = run_error_from(e);
+  }
+
+  const auto load = table.bucket_load();
   r.stats = stats.snapshot();
   r.pcie = dev.bus().snapshot();
   r.serial = {.total_lock_ops = load.total_accesses,
               .max_same_lock_ops = load.max_bucket_accesses,
               .serial_atomic_ops = 0};
   r.iterations = 1;
-  r.keys = table.entry_count();
-  r.checksum = organization() == core::Organization::kMultiValued
-                   ? digest_groups(table)
-                   : digest_kv(table);
+  if (!r.error) {
+    r.keys = table.entry_count();
+    r.checksum = organization() == core::Organization::kMultiValued
+                     ? digest_groups(table)
+                     : digest_kv(table);
+  }
   fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
   return r;

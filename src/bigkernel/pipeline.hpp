@@ -63,6 +63,7 @@ class InputPipeline {
                       const std::function<bool()>& halted = {});
 
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] gpusim::ExecContext& ctx() noexcept { return ctx_; }
 
  private:
   gpusim::ExecContext& ctx_;

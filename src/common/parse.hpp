@@ -1,0 +1,31 @@
+// Checked numeric parsing for CLI flags and config strings.
+//
+// std::atoi/atof silently turn garbage into 0 and saturate nowhere, which is
+// how `--threads=abc` used to become a zero-thread pool. parse_number is the
+// strict replacement: the whole string must parse, the value must fit the
+// target type, and anything else is a std::nullopt the caller turns into an
+// error message naming the flag.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sepo {
+
+// Parses the *entire* string as a value of T (integral or floating point).
+// Rejects empty input, trailing junk, out-of-range values, and, for unsigned
+// targets, negative input. No locale, no leading whitespace.
+template <typename T>
+[[nodiscard]] std::optional<T> parse_number(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  T value{};
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
+
+}  // namespace sepo

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/hashing.hpp"
+#include "gpusim/fault.hpp"
 #include "gpusim/trace_hook.hpp"
 
 namespace sepo::core {
@@ -218,6 +219,27 @@ const KvEntry* SepoHashTable::find_resident(std::string_view key) const {
   return p == gpusim::kDevNull ? nullptr : dev_.ptr<KvEntry>(p);
 }
 
+void SepoHashTable::apply_pressure() {
+  gpusim::FaultInjector* const f = ctx_.faults();
+  if (f == nullptr || f->config().pressure_rate <= 0) return;
+  bool new_spike = false;
+  const std::uint32_t target =
+      f->pressure_target(pool_pages_->page_count(), new_spike);
+  if (new_spike) stats_.add_pressure_spikes();
+  // Seize pages straight from the pool (they count as page_acquires — the
+  // spike is indistinguishable from another tenant grabbing memory). If the
+  // pool runs dry mid-seize the spike simply holds less than it wanted.
+  while (pressure_pages_.size() < target) {
+    const std::uint32_t p = pool_pages_->acquire(stats_);
+    if (p == alloc::kInvalidPage) break;
+    pressure_pages_.push_back(p);
+  }
+  while (pressure_pages_.size() > target) {
+    pool_pages_->release(pressure_pages_.back(), &stats_);
+    pressure_pages_.pop_back();
+  }
+}
+
 bool SepoHashTable::should_halt(double halt_frac) const noexcept {
   return allocator_->postponed_groups() >=
          static_cast<std::uint32_t>(halt_frac * allocator_->num_groups());
@@ -226,6 +248,7 @@ bool SepoHashTable::should_halt(double halt_frac) const noexcept {
 void SepoHashTable::begin_iteration() {
   stats_.add_iterations();
   allocator_->reset_postponed();
+  apply_pressure();
   if (cfg_.org == Organization::kMultiValued) {
     for (const std::uint32_t p : resident_key_pages_)
       pool_pages_->meta(p).pending_keys.store(0, std::memory_order_relaxed);
@@ -280,7 +303,7 @@ void SepoHashTable::flush_pages(const std::vector<std::uint32_t>& pages) {
       ++flushed_pages;
       flushed_bytes += used;
     }
-    pool_pages_->release(p);
+    pool_pages_->release(p, &stats_);
   }
   if (auto* hook = stats_.trace_hook(); hook && flushed_pages > 0)
     hook->on_flush(flushed_pages, flushed_bytes);
@@ -331,6 +354,10 @@ void SepoHashTable::end_iteration() {
 
 HostTable SepoHashTable::finalize() {
   assert(!finalized_);
+  // Return any pages an injected pressure spike still holds.
+  for (const std::uint32_t p : pressure_pages_)
+    pool_pages_->release(p, &stats_);
+  pressure_pages_.clear();
   // Flush whatever is still resident (multi-valued key pages; at completion
   // none of them has pending values, but flushing is unconditional).
   std::vector<std::uint32_t> to_flush;

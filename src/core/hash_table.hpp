@@ -157,6 +157,12 @@ class SepoHashTable {
   void flush_pages(const std::vector<std::uint32_t>& pages);
   void rebuild_device_chains();
 
+  // Fault injection: seizes / returns heap pages to model a device-memory
+  // pressure spike (gpusim::FaultInjector). A shrunken pool makes the
+  // allocator POSTPONE sooner — degradation through extra SEPO iterations,
+  // never wrong answers.
+  void apply_pressure();
+
   gpusim::ExecContext& ctx_;
   gpusim::Device& dev_;
   gpusim::RunStats& stats_;
@@ -174,6 +180,10 @@ class SepoHashTable {
   // Multi-valued: key pages kept resident across iterations because some of
   // their keys still await values (paper §IV-C).
   std::vector<std::uint32_t> resident_key_pages_;
+
+  // Pages seized by an injected memory-pressure spike (not usable by the
+  // allocator until the spike passes).
+  std::vector<std::uint32_t> pressure_pages_;
 
   std::uint64_t flushed_bytes_ = 0;
   std::uint64_t flush_pages_ = 0;

@@ -1,7 +1,9 @@
 #include "core/sepo_driver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "gpusim/fault.hpp"
 #include "gpusim/trace_hook.hpp"
 
 namespace sepo::core {
@@ -18,6 +20,18 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
     halted = [&ht, frac = cfg_.basic_halt_frac] { return ht.should_halt(frac); };
 
   gpusim::TraceHook* const hook = ht.run_stats().trace_hook();
+
+  // An injected memory-pressure spike may seize the whole heap for a few
+  // iterations; that is degradation (POSTPONE everything), not a dead
+  // config, so tolerate as many consecutive zero-progress iterations as a
+  // spike can possibly hold, plus one iteration of slack.
+  const gpusim::FaultInjector* const faults = pipe.ctx().faults();
+  const std::uint32_t zero_progress_limit =
+      faults != nullptr && faults->config().pressure_rate > 0
+          ? std::max(2u, faults->config().pressure_hold_iterations + 1)
+          : 1;
+  std::uint32_t zero_progress = 0;
+
   while (!progress.all_done()) {
     if (result.iterations >= cfg_.max_iterations)
       throw std::runtime_error("SEPO driver exceeded max_iterations");
@@ -36,10 +50,14 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
         profile_iteration(ht, result.iterations, stats_before, pass));
     if (hook) hook->on_iteration_end(result.iterations);
 
-    if (progress.done_count() == done_before)
-      throw std::runtime_error(
-          "SEPO iteration made no progress: an entry may exceed the heap "
-          "size, or the heap has zero pages");
+    if (progress.done_count() == done_before) {
+      if (++zero_progress >= zero_progress_limit)
+        throw std::runtime_error(
+            "SEPO iteration made no progress: an entry may exceed the heap "
+            "size, or the heap has zero pages");
+    } else {
+      zero_progress = 0;
+    }
   }
   return result;
 }

@@ -41,7 +41,15 @@ class TraceHook;
   /* Control level */                                                          \
   X(divergent_units, "work units executed under warp divergence")              \
   X(kernel_launches, "kernel launches")                                        \
-  X(iterations, "SEPO iterations over the input")
+  X(iterations, "SEPO iterations over the input")                              \
+  /* Fault-injection level (gpusim::FaultInjector) */                          \
+  X(faults_h2d, "injected h2d transfer failures")                              \
+  X(faults_d2h, "injected d2h transfer failures")                              \
+  X(faults_remote, "injected remote transaction failures")                     \
+  X(kernel_aborts, "injected kernel launch aborts")                            \
+  X(fault_retries, "priced retry rounds after injected faults")                \
+  X(pressure_spikes, "device-memory pressure spikes begun")                    \
+  X(page_double_releases, "rejected double releases of a heap page")
 
 // Plain-value snapshot of RunStats, safe to copy and do arithmetic on.
 struct StatsSnapshot {

@@ -24,6 +24,34 @@ namespace sepo::gpusim {
 using DevPtr = std::uint64_t;
 inline constexpr DevPtr kDevNull = 0;
 
+// Static device allocation failed. Derives from std::bad_alloc (so existing
+// catch sites keep working) but carries the numbers a diagnosis needs:
+// what was requested, what was already in use, and the device capacity.
+class DeviceOutOfMemory : public std::bad_alloc {
+ public:
+  DeviceOutOfMemory(std::size_t requested, std::size_t used,
+                    std::size_t capacity)
+      : requested_(requested),
+        used_(used),
+        capacity_(capacity),
+        msg_("device out of memory: requested " + std::to_string(requested) +
+             " bytes with " + std::to_string(used) + " of " +
+             std::to_string(capacity) + " bytes in use") {}
+
+  [[nodiscard]] const char* what() const noexcept override {
+    return msg_.c_str();
+  }
+  [[nodiscard]] std::size_t requested() const noexcept { return requested_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t requested_;
+  std::size_t used_;
+  std::size_t capacity_;
+  std::string msg_;
+};
+
 class Device {
  public:
   explicit Device(std::size_t capacity_bytes, PcieParams pcie = {})
@@ -37,12 +65,14 @@ class Device {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
   // Allocates a static region (never freed until device reset). Throws
-  // std::bad_alloc when the device is out of memory — static allocations are
-  // sized by the host before kernels run, so an exception is the right
-  // failure mode (unlike heap allocations, which POSTPONE).
+  // DeviceOutOfMemory (a std::bad_alloc) when the device cannot hold it —
+  // static allocations are sized by the host before kernels run, so an
+  // exception is the right failure mode (unlike heap allocations, which
+  // POSTPONE).
   DevPtr alloc_static(std::size_t bytes, std::size_t align = 8) {
     const std::size_t base = (static_used_ + align - 1) & ~(align - 1);
-    if (base + bytes > capacity_) throw std::bad_alloc();
+    if (base + bytes > capacity_ || base + bytes < base)
+      throw DeviceOutOfMemory(bytes, static_used_, capacity_);
     static_used_ = base + bytes;
     return static_cast<DevPtr>(base);
   }

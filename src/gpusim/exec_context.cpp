@@ -1,5 +1,7 @@
 #include "gpusim/exec_context.hpp"
 
+#include "gpusim/fault.hpp"
+
 namespace sepo::gpusim {
 
 ExecContext::ExecContext(Device& dev, ThreadPool& pool, RunStats& stats,
@@ -18,23 +20,76 @@ void ExecContext::set_trace(TraceHook* hook) {
   if (hook) hook->on_timeline_attach();
 }
 
+void ExecContext::fault_transfer_attempts(bool is_d2h, std::uint64_t bytes) {
+  FaultInjector& f = *faults_;
+  Stream& s = is_d2h ? flush_ : copy_;
+  const TimelineResource r =
+      is_d2h ? TimelineResource::kCopyD2h : TimelineResource::kCopyH2d;
+  std::uint32_t attempt = 0;
+  while (is_d2h ? f.draw_d2h() : f.draw_h2d()) {
+    if (++attempt > f.config().max_retries)
+      throw FaultError(std::string(is_d2h ? "d2h" : "h2d") +
+                       " transfer failed after " +
+                       std::to_string(f.config().max_retries) + " retries");
+    // The failed attempt still crossed the bus and occupied the copy engine
+    // at full price; meter both so busy == analytic-term equality holds
+    // under faults too. Then wait out the backoff before the next attempt.
+    timeline_.note_fault(r);
+    stats_.add_fault_retries();
+    if (is_d2h) {
+      stats_.add_faults_d2h();
+      dev_.bus().d2h(bytes);
+      s.d2h_flush(bytes);
+    } else {
+      stats_.add_faults_h2d();
+      dev_.bus().h2d(bytes);
+      s.h2d(bytes);
+    }
+    s.backoff(r, f.backoff_s(attempt));
+  }
+}
+
+void ExecContext::fault_launch_aborts() {
+  FaultInjector& f = *faults_;
+  std::uint32_t attempt = 0;
+  while (f.draw_kernel_abort()) {
+    if (++attempt > f.config().max_retries)
+      throw FaultError("kernel launch aborted " +
+                       std::to_string(f.config().max_retries) +
+                       " times; retries exhausted");
+    // An aborted chunk launch costs the launch overhead (the kernel never
+    // ran, so no counter delta) plus the retry backoff.
+    timeline_.note_fault(TimelineResource::kCompute);
+    stats_.add_kernel_aborts();
+    stats_.add_fault_retries();
+    compute_.aborted_launch(timeline_.machine().sec_per_kernel_launch);
+    compute_.backoff(TimelineResource::kCompute, f.backoff_s(attempt));
+  }
+}
+
 Event ExecContext::stage_h2d(DevPtr dst, const void* src, std::size_t bytes,
                              Event after) {
   dev_.copy_h2d(dst, src, bytes);
   copy_.wait(after);
+  if (faults_) fault_transfer_attempts(/*is_d2h=*/false, bytes);
   return copy_.h2d(bytes);
 }
 
 Event ExecContext::launch(std::size_t n_items,
                           const std::function<void(std::size_t)>& kernel,
                           LaunchConfig cfg, Event after) {
+  compute_.wait(after);
+  // Abort faults are decided *before* the chunk physically executes — an
+  // aborted launch must have no side effects, and the simulator cannot undo
+  // a kernel's real work after the fact.
+  if (faults_) fault_launch_aborts();
+
   const StatsSnapshot stats_before = stats_.snapshot();
   const PcieSnapshot bus_before = dev_.bus().snapshot();
   gpusim::launch(pool_, stats_, n_items, kernel, cfg);
   const StatsSnapshot delta = stats_.snapshot() - stats_before;
   const PcieSnapshot bus_after = dev_.bus().snapshot();
 
-  compute_.wait(after);
   Event done = compute_.kernel(delta, n_items);
 
   // Remote accesses the kernel issued (pinned baseline) serialize with the
@@ -49,6 +104,35 @@ Event ExecContext::launch(std::size_t n_items,
         TimelineCommandKind::kRemoteAccess, TimelineResource::kRemote, done.at,
         timeline_.price_remote(remote_bytes, remote_txns), remote_bytes,
         remote_txns);
+
+    // A slice of those transactions may fail; the failed slice re-issues
+    // (same per-transaction price) after a backoff, and can fail again.
+    // Retry transactions are priced on the timeline but not re-metered on
+    // the bus: the analytic model is fault-blind, and the timeline's remote
+    // busy total only counts first attempts to keep the term equality.
+    if (faults_) {
+      FaultInjector& f = *faults_;
+      std::uint64_t failed = f.draw_remote_failures(remote_txns);
+      std::uint32_t attempt = 0;
+      while (failed > 0) {
+        if (++attempt > f.config().max_retries)
+          throw FaultError("remote transactions failed after " +
+                           std::to_string(f.config().max_retries) +
+                           " retries");
+        timeline_.note_fault(TimelineResource::kRemote);
+        stats_.add_faults_remote(failed);
+        stats_.add_fault_retries();
+        const std::uint64_t failed_bytes = remote_bytes * failed / remote_txns;
+        done = timeline_.schedule(TimelineCommandKind::kRetryBackoff,
+                                  TimelineResource::kRemote, done.at,
+                                  f.backoff_s(attempt), 0, 0);
+        done = timeline_.schedule(TimelineCommandKind::kRetryBackoff,
+                                  TimelineResource::kRemote, done.at,
+                                  timeline_.price_remote(failed_bytes, failed),
+                                  failed_bytes, failed);
+        failed = f.draw_remote_failures(failed);
+      }
+    }
     compute_.wait(done);
   }
   return done;
@@ -58,6 +142,7 @@ Event ExecContext::flush_d2h(std::uint64_t bytes) {
   // The flush cannot start before queued compute finishes, and computation
   // (and further staging) halts until it completes (paper §IV-C).
   flush_.wait(compute_.record());
+  if (faults_) fault_transfer_attempts(/*is_d2h=*/true, bytes);
   const Event done = flush_.d2h_flush(bytes);
   compute_.wait(done);
   copy_.wait(done);

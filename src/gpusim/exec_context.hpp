@@ -31,6 +31,8 @@
 
 namespace sepo::gpusim {
 
+class FaultInjector;
+
 class ExecContext {
  public:
   // Non-owning: bundles an existing device/pool/stats. The timeline prices
@@ -56,6 +58,15 @@ class ExecContext {
   // current end so several runs concatenate onto one trace). The bus keeps
   // no hook: resource spans now come from exact timeline commands.
   void set_trace(TraceHook* hook);
+
+  // Installs a fault injector (non-owning; null disables injection). With an
+  // injector installed, stage_h2d / launch / flush_d2h interpose transient
+  // faults: each failed attempt is scheduled at full cost on its engine,
+  // followed by a priced kRetryBackoff span, and a FaultError is thrown once
+  // max_retries consecutive attempts fail. All draws happen on the (serial)
+  // host scheduling path, so the fault schedule is deterministic.
+  void set_faults(FaultInjector* faults) noexcept { faults_ = faults; }
+  [[nodiscard]] FaultInjector* faults() const noexcept { return faults_; }
 
   // Stages `bytes` host->device (metered memcpy, as Device::copy_h2d) and
   // schedules the copy on the h2d engine, not before `after` (typically the
@@ -85,6 +96,11 @@ class ExecContext {
   }
 
  private:
+  // Prices the failed attempts (and their backoffs) a transfer suffers
+  // before its successful attempt; throws FaultError on retry exhaustion.
+  void fault_transfer_attempts(bool is_d2h, std::uint64_t bytes);
+  void fault_launch_aborts();
+
   Device& dev_;
   ThreadPool& pool_;
   RunStats& stats_;
@@ -92,6 +108,7 @@ class ExecContext {
   Stream compute_;
   Stream copy_;
   Stream flush_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace sepo::gpusim

@@ -1,0 +1,56 @@
+#include "gpusim/fault.hpp"
+
+#include "common/parse.hpp"
+
+namespace sepo::gpusim {
+
+namespace {
+
+[[noreturn]] void bad_value(std::string_view name, std::string_view value,
+                            std::string_view expect) {
+  throw std::invalid_argument("invalid value for " + std::string(name) + ": '" +
+                              std::string(value) + "' (expected " +
+                              std::string(expect) + ")");
+}
+
+double parse_rate(std::string_view name, std::string_view value) {
+  const auto v = parse_number<double>(value);
+  if (!v || *v < 0.0 || *v > 1.0) bad_value(name, value, "a rate in [0, 1]");
+  return *v;
+}
+
+}  // namespace
+
+bool apply_fault_flag(FaultConfig& cfg, std::string_view name,
+                      std::string_view value) {
+  if (name == "--fault-seed") {
+    const auto v = parse_number<std::uint64_t>(value);
+    if (!v) bad_value(name, value, "an unsigned 64-bit integer");
+    cfg.seed = *v;
+  } else if (name == "--fault-h2d-rate") {
+    cfg.h2d_rate = parse_rate(name, value);
+  } else if (name == "--fault-d2h-rate") {
+    cfg.d2h_rate = parse_rate(name, value);
+  } else if (name == "--fault-remote-rate") {
+    cfg.remote_rate = parse_rate(name, value);
+  } else if (name == "--fault-kernel-rate") {
+    cfg.kernel_abort_rate = parse_rate(name, value);
+  } else if (name == "--fault-pressure") {
+    cfg.pressure_rate = parse_rate(name, value);
+  } else if (name == "--fault-pressure-frac") {
+    cfg.pressure_frac = parse_rate(name, value);
+  } else if (name == "--fault-pressure-hold") {
+    const auto v = parse_number<std::uint32_t>(value);
+    if (!v) bad_value(name, value, "an iteration count");
+    cfg.pressure_hold_iterations = *v;
+  } else if (name == "--fault-max-retries") {
+    const auto v = parse_number<std::uint32_t>(value);
+    if (!v || *v == 0) bad_value(name, value, "a positive retry count");
+    cfg.max_retries = *v;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sepo::gpusim

@@ -1,0 +1,145 @@
+// Deterministic fault injection for the virtual device.
+//
+// The SEPO model is graceful degradation — a requestee may decline service
+// and the requestor retries later (paper §III) — but without an adversary the
+// retry machinery is dead code on the happy path. FaultInjector is that
+// adversary: a seed-driven source that can fail PCIe h2d/d2h/remote
+// transactions at a configured rate, abort kernel chunk launches, and inject
+// device-memory pressure spikes that shrink the usable heap mid-run.
+//
+// Determinism contract: the injector owns a private sepo::Rng seeded from
+// config — no wall clock, no global RNG — and every draw happens on the host
+// scheduling path, which is serial. Identical config + seed therefore yields
+// a bit-identical fault schedule, preserving the run-to-run determinism
+// guarantee of the execution timeline. A rate of zero for a fault class draws
+// nothing from the stream, so an all-zero config is bit-identical to running
+// without an injector at all (guarded by a regression test).
+//
+// Every injected fault is *priced*: the failed attempt occupies its engine at
+// full cost, then the retry waits out a bounded exponential backoff span
+// (kRetryBackoff timeline commands) before re-enqueueing. Faults thus show up
+// in simulated time, Chrome traces, and metrics rather than being free.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/random.hpp"
+
+namespace sepo::gpusim {
+
+struct FaultConfig {
+  std::uint64_t seed = 0x5eedfa17ULL;
+
+  // Per-class transient failure probabilities in [0, 1]. A transaction (or
+  // launch) fails with this probability on every attempt, including retries.
+  double h2d_rate = 0.0;
+  double d2h_rate = 0.0;
+  double remote_rate = 0.0;
+  double kernel_abort_rate = 0.0;
+
+  // Probability (drawn once per SEPO iteration) that a device-memory
+  // pressure spike begins, seizing `pressure_frac` of the heap's pages for
+  // `pressure_hold_iterations` iterations. Persistent pressure turns into
+  // SEPO postponement: more iterations, never wrong answers.
+  double pressure_rate = 0.0;
+  double pressure_frac = 0.25;
+  std::uint32_t pressure_hold_iterations = 2;
+
+  // Retry policy: a faulted operation retries up to max_retries times with
+  // bounded exponential backoff (base * 2^(attempt-1), capped) before the
+  // run surfaces a typed error.
+  std::uint32_t max_retries = 8;
+  double backoff_base_s = 4.0e-6;
+  double backoff_cap_s = 1.0e-3;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return h2d_rate > 0 || d2h_rate > 0 || remote_rate > 0 ||
+           kernel_abort_rate > 0 || pressure_rate > 0;
+  }
+};
+
+// A faulted operation exhausted its retry budget. Baselines with no
+// postponement story surface this as a typed RunError; SEPO runs only see it
+// when the transient rate is high enough that max_retries consecutive
+// attempts all fail.
+class FaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& cfg) noexcept
+      : cfg_(cfg), rng_(cfg.seed) {}
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] bool enabled() const noexcept { return cfg_.enabled(); }
+
+  // Per-attempt transient draws. A class with rate zero never consumes from
+  // the random stream, so enabling one fault class cannot perturb another's
+  // schedule — and an all-zero config consumes nothing at all.
+  [[nodiscard]] bool draw_h2d() noexcept { return draw(cfg_.h2d_rate); }
+  [[nodiscard]] bool draw_d2h() noexcept { return draw(cfg_.d2h_rate); }
+  [[nodiscard]] bool draw_kernel_abort() noexcept {
+    return draw(cfg_.kernel_abort_rate);
+  }
+
+  // Remote transactions are issued in bulk from inside kernels, so the
+  // injector draws the number of failures in one binomial-mean step:
+  // floor(rate * txns) plus one more with the fractional probability.
+  [[nodiscard]] std::uint64_t draw_remote_failures(std::uint64_t txns) noexcept {
+    if (cfg_.remote_rate <= 0 || txns == 0) return 0;
+    const double mean = cfg_.remote_rate * static_cast<double>(txns);
+    auto failures = static_cast<std::uint64_t>(mean);
+    if (rng_.chance(mean - static_cast<double>(failures))) ++failures;
+    return failures < txns ? failures : txns;
+  }
+
+  // Backoff before retry `attempt` (1-based): bounded exponential.
+  [[nodiscard]] double backoff_s(std::uint32_t attempt) const noexcept {
+    double d = cfg_.backoff_base_s;
+    for (std::uint32_t i = 1; i < attempt && d < cfg_.backoff_cap_s; ++i)
+      d *= 2.0;
+    return d < cfg_.backoff_cap_s ? d : cfg_.backoff_cap_s;
+  }
+
+  // Called once per SEPO iteration with the heap's page count; returns how
+  // many pages the current pressure spike seizes (0 when no spike is
+  // active). `new_spike` reports a spike beginning this iteration.
+  [[nodiscard]] std::uint32_t pressure_target(std::uint32_t page_count,
+                                              bool& new_spike) noexcept {
+    new_spike = false;
+    if (cfg_.pressure_rate <= 0) return 0;
+    if (pressure_left_ > 0) {
+      --pressure_left_;
+    } else if (rng_.chance(cfg_.pressure_rate)) {
+      new_spike = true;
+      pressure_left_ = cfg_.pressure_hold_iterations;
+      pressure_pages_ = static_cast<std::uint32_t>(
+          cfg_.pressure_frac * static_cast<double>(page_count));
+    }
+    return pressure_left_ > 0 ? pressure_pages_ : 0;
+  }
+
+ private:
+  [[nodiscard]] bool draw(double rate) noexcept {
+    return rate > 0 && rng_.chance(rate);
+  }
+
+  FaultConfig cfg_;
+  Rng rng_;
+  std::uint32_t pressure_left_ = 0;   // iterations the active spike still holds
+  std::uint32_t pressure_pages_ = 0;  // pages the active spike seizes
+};
+
+// Applies one `--fault-*` command-line flag to `cfg`. Returns false when
+// `name` is not a fault flag; throws std::invalid_argument on a fault flag
+// with an unparsable or out-of-range value. Shared by sepo_cli and the
+// benches so the chaos-run vocabulary stays in one place.
+bool apply_fault_flag(FaultConfig& cfg, std::string_view name,
+                      std::string_view value);
+
+}  // namespace sepo::gpusim

@@ -21,7 +21,15 @@ Event Timeline::schedule(TimelineCommandKind kind, TimelineResource resource,
   const double start = std::max(ready, end_[r]);
   const double end = start + duration;
   end_[r] = end;
-  busy_[r] += duration;
+  if (kind == TimelineCommandKind::kRetryBackoff ||
+      kind == TimelineCommandKind::kAbortedLaunch) {
+    // Fault overhead occupies the engine but is accounted separately so the
+    // busy totals keep matching the analytic per-term pricing exactly.
+    ++faults_.engine[r].retries;
+    faults_.engine[r].backoff_s += duration;
+  } else {
+    busy_[r] += duration;
+  }
   ++n_commands_;
   const TimelineCommand cmd{kind, resource, start, end, arg0, arg1};
   commands_.push_back(cmd);
@@ -71,6 +79,15 @@ Event Stream::kernel(const StatsSnapshot& delta, std::size_t n_items) {
 Event Stream::remote(std::uint64_t bytes, std::uint64_t txns) {
   return push(TimelineCommandKind::kRemoteAccess, TimelineResource::kRemote,
               tl_->price_remote(bytes, txns), bytes, txns);
+}
+
+Event Stream::backoff(TimelineResource r, double seconds) {
+  return push(TimelineCommandKind::kRetryBackoff, r, seconds, 0, 0);
+}
+
+Event Stream::aborted_launch(double seconds) {
+  return push(TimelineCommandKind::kAbortedLaunch, TimelineResource::kCompute,
+              seconds, 0, 0);
 }
 
 }  // namespace sepo::gpusim

@@ -50,6 +50,31 @@ struct TimelineSummary {
   std::uint64_t commands = 0;
 };
 
+// Per-engine fault/retry accounting (obs schema v3). `backoff_s` is the
+// simulated time the engine spent on fault overhead — retry backoff waits
+// plus aborted launch costs — which the busy totals above exclude so that
+// busy == analytic-term equality survives fault injection.
+struct EngineFaults {
+  std::uint64_t faults = 0;   // injected failures observed on this engine
+  std::uint64_t retries = 0;  // overhead commands scheduled (backoffs/aborts)
+  double backoff_s = 0;       // simulated seconds of that overhead
+};
+
+struct FaultSummary {
+  std::array<EngineFaults, kNumTimelineResources> engine{};
+
+  [[nodiscard]] std::uint64_t total_faults() const noexcept {
+    std::uint64_t n = 0;
+    for (const EngineFaults& e : engine) n += e.faults;
+    return n;
+  }
+  [[nodiscard]] double total_backoff_s() const noexcept {
+    double s = 0;
+    for (const EngineFaults& e : engine) s += e.backoff_s;
+    return s;
+  }
+};
+
 class Timeline {
  public:
   Timeline(const MachineDesc& machine, PcieParams pcie)
@@ -89,6 +114,16 @@ class Timeline {
   }
   [[nodiscard]] TimelineSummary summary() const noexcept;
 
+  // Fault accounting. note_fault records an injected failure against an
+  // engine; the overhead commands themselves (kRetryBackoff/kAbortedLaunch)
+  // are tallied by schedule().
+  void note_fault(TimelineResource r) noexcept {
+    ++faults_.engine[static_cast<int>(r)].faults;
+  }
+  [[nodiscard]] const FaultSummary& fault_summary() const noexcept {
+    return faults_;
+  }
+
   [[nodiscard]] const MachineDesc& machine() const noexcept { return machine_; }
   [[nodiscard]] const PcieParams& pcie() const noexcept { return pcie_; }
 
@@ -99,6 +134,7 @@ class Timeline {
   PcieParams pcie_;
   std::array<double, kNumTimelineResources> end_{};
   std::array<double, kNumTimelineResources> busy_{};
+  FaultSummary faults_;
   std::vector<TimelineCommand> commands_;
   std::uint64_t n_commands_ = 0;
   TraceHook* hook_ = nullptr;
@@ -122,6 +158,12 @@ class Stream {
   Event d2h_flush(std::uint64_t bytes);
   Event kernel(const StatsSnapshot& delta, std::size_t n_items);
   Event remote(std::uint64_t bytes, std::uint64_t txns);
+
+  // Fault-injection overhead spans (see gpusim::FaultInjector). backoff
+  // parks the stream on `r` for `seconds`; aborted_launch charges the
+  // machine's launch cost on the compute engine without running anything.
+  Event backoff(TimelineResource r, double seconds);
+  Event aborted_launch(double seconds);
 
  private:
   Event push(TimelineCommandKind kind, TimelineResource resource,

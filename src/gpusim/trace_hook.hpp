@@ -40,6 +40,13 @@ enum class TimelineCommandKind : int {
   kH2dCopy = 1,
   kD2hFlush = 2,
   kRemoteAccess = 3,
+  // Fault-injection overhead (gpusim::FaultInjector). These occupy their
+  // engine in simulated time but are excluded from the engine's busy total,
+  // which keeps busy == analytic-term equality intact: failed attempts are
+  // scheduled as ordinary commands of the kinds above, and only the *extra*
+  // waiting lands here.
+  kRetryBackoff = 4,    // bounded-exponential wait before a retry
+  kAbortedLaunch = 5,   // kernel launch the injector aborted (launch cost)
 };
 
 // One scheduled command on the execution timeline: priced by the cost model,

@@ -44,6 +44,23 @@ Json to_json(const gpusim::TimelineSummary& t) {
   return j;
 }
 
+Json to_json(const gpusim::FaultSummary& f) {
+  Json j = Json::object();
+  static constexpr const char* kEngineNames[gpusim::kNumTimelineResources] = {
+      "compute", "h2d", "d2h", "remote"};
+  for (int r = 0; r < gpusim::kNumTimelineResources; ++r) {
+    const gpusim::EngineFaults& e = f.engine[r];
+    Json ej = Json::object();
+    ej.set("faults", e.faults);
+    ej.set("retries", e.retries);
+    ej.set("backoff_s", e.backoff_s);
+    j.set(kEngineNames[r], std::move(ej));
+  }
+  j.set("total_faults", f.total_faults());
+  j.set("total_backoff_s", f.total_backoff_s());
+  return j;
+}
+
 Json to_json(const core::IterationProfile& p) {
   Json j = Json::object();
   j.set("iteration", p.iteration);
@@ -93,6 +110,13 @@ Json to_json(const apps::RunResult& r) {
   j.set("serialization", to_json(r.serial));
   j.set("gpu_breakdown", to_json(r.gpu_breakdown));
   j.set("timeline", to_json(r.timeline));
+  j.set("faults", to_json(r.faults));
+  if (r.error) {
+    Json err = Json::object();
+    err.set("kind", r.error.kind_name());
+    err.set("message", r.error.message);
+    j.set("error", std::move(err));
+  }
   Json profiles = Json::array();
   for (const auto& p : r.iteration_profiles) profiles.push_back(to_json(p));
   j.set("iteration_profiles", std::move(profiles));

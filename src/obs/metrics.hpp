@@ -7,9 +7,9 @@
 // schema, so benches and the CLI can emit reports that are diffable across
 // PRs (sepo_cli metrics-diff) instead of only human-readable tables.
 //
-// Schema sketch (schema_version 2):
+// Schema sketch (schema_version 3):
 //   {
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "tool": "fig6_speedup",
 //     "runs": [
 //       { "app": "...", "impl": "sepo-gpu", "sim_seconds": ...,
@@ -20,6 +20,11 @@
 //         "pcie": {...}, "serialization": {...}, "gpu_breakdown": {...},
 //         "timeline": { "compute_busy": s, "h2d_busy": s, "d2h_busy": s,
 //                       "remote_busy": s, "total": s, "commands": N },
+//         "faults": { "compute": { "faults": N, "retries": N,
+//                                  "backoff_s": s }, "h2d": {...},
+//                     "d2h": {...}, "remote": {...},
+//                     "total_faults": N, "total_backoff_s": s },
+//         "error": { "kind": "...", "message": "..." },   // only on failure
 //         "iteration_profiles": [ {...}, ... ],
 //         "bucket_histogram": [N, ...], ...caller extras... }
 //     ],
@@ -27,6 +32,10 @@
 //   }
 //
 // Schema history:
+//   v3  fault injection: adds per-engine fault/retry counters and backoff
+//       seconds (the "faults" object), the optional "error" object for runs
+//       that failed structurally (typed RunError), and the fault counters
+//       appended to SEPO_STATS_FIELDS inside "stats".
 //   v2  discrete-event timeline: adds "sim_seconds_analytic" and the
 //       "timeline" object (per-resource busy seconds, makespan "total"
 //       equal to the scheduled end of the last command, and the scheduled
@@ -48,13 +57,14 @@
 
 namespace sepo::obs {
 
-inline constexpr int kMetricsSchemaVersion = 2;
+inline constexpr int kMetricsSchemaVersion = 3;
 
 [[nodiscard]] Json to_json(const gpusim::StatsSnapshot& s);
 [[nodiscard]] Json to_json(const gpusim::PcieSnapshot& p);
 [[nodiscard]] Json to_json(const gpusim::SerializationInputs& s);
 [[nodiscard]] Json to_json(const gpusim::GpuTimeBreakdown& b);
 [[nodiscard]] Json to_json(const gpusim::TimelineSummary& t);
+[[nodiscard]] Json to_json(const gpusim::FaultSummary& f);
 [[nodiscard]] Json to_json(const core::IterationProfile& p);
 [[nodiscard]] Json to_json(const apps::RunResult& r);
 

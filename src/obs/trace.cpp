@@ -51,6 +51,21 @@ void TraceRecorder::on_timeline_command(const gpusim::TimelineCommand& cmd) {
       track = kTrackRemote;
       name = "remote access";
       break;
+    case gpusim::TimelineCommandKind::kRetryBackoff:
+    case gpusim::TimelineCommandKind::kAbortedLaunch: {
+      // Fault-injection overhead: render on the affected engine's own track
+      // so the retry sits visibly between the failed attempt and the retry.
+      switch (cmd.resource) {
+        case gpusim::TimelineResource::kCompute: track = kTrackKernel; break;
+        case gpusim::TimelineResource::kCopyH2d: track = kTrackH2d; break;
+        case gpusim::TimelineResource::kCopyD2h: track = kTrackD2h; break;
+        case gpusim::TimelineResource::kRemote: track = kTrackRemote; break;
+      }
+      name = cmd.kind == gpusim::TimelineCommandKind::kAbortedLaunch
+                 ? "aborted launch"
+                 : "retry backoff";
+      break;
+    }
   }
   spans_.push_back(
       {track, name, start * kUs, (end - start) * kUs, cmd.arg0, cmd.arg1});

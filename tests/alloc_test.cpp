@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cstring>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "alloc/bucket_group_allocator.hpp"
@@ -74,6 +76,37 @@ TEST(PagePoolTest, AcquireResetsMeta) {
   EXPECT_EQ(pool.meta(q).pending_keys.load(std::memory_order_relaxed), 0u);
 }
 
+TEST(PagePoolTest, RejectsInvalidPageSize) {
+  Rig rig(1u << 20);
+  // Must be a power of two >= 64; a bad partition has to fail loudly in
+  // release builds too, not only under NDEBUG-off asserts.
+  EXPECT_THROW(PagePool(rig.dev, 64u << 10, 48), std::invalid_argument);
+  EXPECT_THROW(PagePool(rig.dev, 64u << 10, 3000), std::invalid_argument);
+  EXPECT_THROW(PagePool(rig.dev, 64u << 10, 0), std::invalid_argument);
+  EXPECT_NO_THROW(PagePool(rig.dev, 64u << 10, 64));
+}
+
+TEST(PagePoolTest, DoubleReleaseIsRejectedAndCounted) {
+  Rig rig(1u << 20);
+  PagePool pool(rig.dev, 16u << 10, 4u << 10);
+  const std::uint32_t p = pool.acquire(rig.stats);
+  ASSERT_NE(p, kInvalidPage);
+  EXPECT_TRUE(pool.release(p, &rig.stats));
+  // The second release has no intervening acquire: it must be rejected
+  // (not corrupt the free stack) and show up in the stats.
+  EXPECT_FALSE(pool.release(p, &rig.stats));
+  EXPECT_EQ(pool.free_count(), 4u);
+  EXPECT_EQ(rig.stats.snapshot().page_double_releases, 1u);
+  // The pool still works: every page remains acquirable exactly once.
+  std::set<std::uint32_t> pages;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint32_t q = pool.acquire(rig.stats);
+    ASSERT_NE(q, kInvalidPage);
+    EXPECT_TRUE(pages.insert(q).second) << "page handed out twice";
+  }
+  EXPECT_EQ(pool.acquire(rig.stats), kInvalidPage);
+}
+
 TEST(PagePoolTest, ConcurrentAcquireReleaseKeepsInvariant) {
   Rig rig(4u << 20, /*workers=*/4);
   PagePool pool(rig.dev, 256u << 10, 4u << 10);  // 64 pages
@@ -88,6 +121,47 @@ TEST(PagePoolTest, ConcurrentAcquireReleaseKeepsInvariant) {
   });
   EXPECT_FALSE(violation.load());
   EXPECT_EQ(pool.free_count(), 64u);
+}
+
+// Sustained concurrent churn near pool exhaustion: many threads acquire and
+// release in tight loops against a pool smaller than the demand, so the
+// Treiber stack's push/pop race with the double-release CAS guard under
+// contention. Runs under the sanitizer label (see tests/CMakeLists.txt).
+TEST(PagePoolChurnTest, ManyThreadsNearExhaustion) {
+  Rig rig(4u << 20);
+  PagePool pool(rig.dev, 32u << 10, 4u << 10);  // 8 pages
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::atomic<bool> violation{false};
+  std::atomic<std::uint64_t> acquired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      std::vector<std::uint32_t> held;
+      for (int i = 0; i < kIters; ++i) {
+        const std::uint32_t p = pool.acquire(rig.stats);
+        if (p != kInvalidPage) {
+          if (pool.meta(p).in_pool.load(std::memory_order_relaxed))
+            violation.store(true);
+          held.push_back(p);
+          acquired.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Hold up to two pages to keep the pool starved, then give back.
+        if (held.size() > 2 || (p == kInvalidPage && !held.empty())) {
+          if (!pool.release(held.back(), &rig.stats)) violation.store(true);
+          held.pop_back();
+        }
+      }
+      for (const std::uint32_t p : held)
+        if (!pool.release(p, &rig.stats)) violation.store(true);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+  EXPECT_GT(acquired.load(), 0u);
+  EXPECT_EQ(pool.free_count(), 8u);
+  // No legitimate release may ever be rejected: every acquire had exactly
+  // one matching release.
+  EXPECT_EQ(rig.stats.snapshot().page_double_releases, 0u);
 }
 
 // ---- HostHeap ----

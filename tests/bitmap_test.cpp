@@ -59,6 +59,23 @@ TEST(BitmapTest, FirstUnsetFromScansPastSetRuns) {
   EXPECT_EQ(b.first_unset_from(100), 151u);
 }
 
+TEST(BitmapTest, FirstUnsetFromAtWordBoundaries) {
+  // 150 bits: the last word is partial (150 = 2*64 + 22), so scans that
+  // start at or cross word boundaries must not read past num_bits.
+  AtomicBitmap b(150);
+  for (const std::size_t i : {63u, 64u, 127u, 128u, 149u}) b.set(i);
+  EXPECT_EQ(b.first_unset_from(63), 65u);
+  EXPECT_EQ(b.first_unset_from(64), 65u);
+  EXPECT_EQ(b.first_unset_from(127), 129u);
+  EXPECT_EQ(b.first_unset_from(128), 129u);
+  EXPECT_EQ(b.first_unset_from(149), 150u);  // last bit set -> size
+  // Fill the final partial word; a scan from inside it must stop at size,
+  // not at the 192-bit storage boundary.
+  for (std::size_t i = 128; i < 150; ++i) b.set(i);
+  EXPECT_EQ(b.first_unset_from(128), 150u);
+  EXPECT_EQ(b.first_unset_from(140), 150u);
+}
+
 TEST(BitmapTest, FirstUnsetReturnsSizeWhenFull) {
   AtomicBitmap b(70);
   for (std::size_t i = 0; i < 70; ++i) b.set(i);

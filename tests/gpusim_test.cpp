@@ -77,6 +77,22 @@ TEST(DeviceTest, ThrowsWhenExhausted) {
   EXPECT_THROW((void)dev.alloc_static(3000), std::bad_alloc);
 }
 
+TEST(DeviceTest, OutOfMemoryCarriesDiagnostics) {
+  Device dev(4096);
+  (void)dev.alloc_static(3000);
+  try {
+    (void)dev.alloc_static(2000);
+    FAIL() << "expected DeviceOutOfMemory";
+  } catch (const DeviceOutOfMemory& e) {
+    EXPECT_EQ(e.requested(), 2000u);
+    EXPECT_GE(e.used(), 3000u);  // includes the burned null region
+    EXPECT_EQ(e.capacity(), 4096u);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2000"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4096"), std::string::npos) << msg;
+  }
+}
+
 TEST(DeviceTest, MemFreeAccountsForAlignment) {
   Device dev(1u << 16);
   (void)dev.alloc_static(100);

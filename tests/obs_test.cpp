@@ -323,7 +323,7 @@ TEST(StatsFields, GeneratedPlumbingIsConsistent) {
   gpusim::StatsSnapshot a{};
   std::size_t n = 0;
   a.for_each_field([&](const char*, std::uint64_t) { ++n; });
-  EXPECT_EQ(n, 19u);  // update alongside SEPO_STATS_FIELDS
+  EXPECT_EQ(n, 26u);  // update alongside SEPO_STATS_FIELDS
 
   gpusim::RunStats stats;
   stats.add_hash_ops(3);

@@ -75,13 +75,17 @@ TEST(ShapeRegression, SepoDegradesGracefullyWithShrinkingHeap) {
 }
 
 TEST(ShapeRegression, MapCgFailsWhereSepoSucceeds) {
-  // Table II's bottom half: no SEPO -> hard failure past device memory.
+  // Table II's bottom half: no SEPO -> hard failure past device memory,
+  // surfaced as a typed RunError on the result instead of an escaping throw.
   const auto& wc = word_count_app();
   const std::string input = wc.generate(3u << 20, 76);
   GpuConfig cfg;  // 4 MiB device
-  EXPECT_THROW((void)run_mr_mapcg(wc, input, cfg),
-               baselines::MapCgOutOfMemory);
+  const RunResult theirs = run_mr_mapcg(wc, input, cfg);
+  ASSERT_TRUE(theirs.error);
+  EXPECT_EQ(theirs.error.kind, RunError::Kind::kDeviceOutOfMemory);
+  EXPECT_FALSE(theirs.error.message.empty());
   const RunResult ours = run_mr_sepo(wc, input, cfg);
+  EXPECT_FALSE(ours.error);
   EXPECT_GE(ours.iterations, 1u);
 }
 

@@ -11,10 +11,14 @@
 //   sepo_cli run --app wc --impl gpu --metrics-out=m.json --trace-out=t.json
 //   sepo_cli metrics-check BENCH_fig6.json        # schema validation
 //   sepo_cli metrics-diff old.json new.json --max-regress-pct 5
+//   sepo_cli run --app pvc --impl gpu --fault-seed 7 --fault-h2d-rate 0.01
 //
 // Exit status: 0 on success, 1 on usage error, 2 on run failure (e.g. MapCG
-// out of device memory) or invalid/unreadable metrics file; metrics-diff
-// additionally exits 3 when sim_seconds regressed beyond the threshold.
+// out of device memory, fault-retry exhaustion) or invalid/unreadable/
+// incomparable metrics files (metrics-diff exits 2 when the two files'
+// schema versions differ — "incomparable", distinct from "regression");
+// metrics-diff additionally exits 3 when sim_seconds regressed beyond the
+// threshold.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +35,9 @@
 #include "apps/mr_apps.hpp"
 #include "apps/standalone_app.hpp"
 #include "baselines/mapcg.hpp"
+#include "common/parse.hpp"
 #include "common/table_printer.hpp"
+#include "gpusim/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -50,7 +56,25 @@ struct Options {
   std::size_t device_kb = 4096;
   std::uint32_t threads = 8;
   bool csv = false;
+  gpusim::FaultConfig faults;  // all rates zero: injection disabled
 };
+
+// Checked numeric flag parsing: the whole value must parse and fit, or the
+// flag is rejected with a message (std::atoi would silently yield 0).
+template <typename T>
+bool parse_flag(const std::string& flag, const char* value, T& out) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s requires a value\n", flag.c_str());
+    return false;
+  }
+  const auto parsed = parse_number<T>(value);
+  if (!parsed) {
+    std::fprintf(stderr, "invalid value for %s: '%s'\n", flag.c_str(), value);
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
 
 void usage() {
   std::fprintf(stderr,
@@ -73,6 +97,16 @@ void usage() {
                "  --threads N      CPU baseline threads (default 8)\n"
                "  --csv            machine-readable output\n"
                "  --max-regress-pct X   metrics-diff threshold (default 5)\n"
+               "fault injection (run/compare; simulated-device impls only):\n"
+               "  --fault-seed S           injector RNG seed (deterministic)\n"
+               "  --fault-h2d-rate P       fail each h2d copy with prob P\n"
+               "  --fault-d2h-rate P       fail each d2h page copy with prob P\n"
+               "  --fault-remote-rate P    fail remote txns with prob P (pinned)\n"
+               "  --fault-kernel-rate P    abort kernel chunk launches with prob P\n"
+               "  --fault-pressure P       per-iteration memory-pressure spike prob\n"
+               "  --fault-pressure-frac F  heap fraction seized by a spike\n"
+               "  --fault-pressure-hold N  iterations a spike persists\n"
+               "  --fault-max-retries N    retries before the run fails (default 8)\n"
                "telemetry (run/compare; also via environment):\n"
                "  --metrics-out FILE    write metrics JSON ($SEPO_METRICS_OUT)\n"
                "  --trace-out FILE      write Chrome trace JSON, GPU impls only\n"
@@ -117,27 +151,32 @@ std::optional<Options> parse(int argc, char** argv) {
       if (!v) return std::nullopt;
       o.impl = v;
     } else if (a == "--dataset") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      o.dataset = std::atoi(v);
+      if (!parse_flag(a, next(), o.dataset)) return std::nullopt;
     } else if (a == "--bytes") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      o.bytes = static_cast<std::size_t>(std::atoll(v));
+      if (!parse_flag(a, next(), o.bytes)) return std::nullopt;
     } else if (a == "--seed") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      o.seed = static_cast<std::uint64_t>(std::atoll(v));
+      if (!parse_flag(a, next(), o.seed)) return std::nullopt;
     } else if (a == "--device-kb") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      o.device_kb = static_cast<std::size_t>(std::atoll(v));
+      if (!parse_flag(a, next(), o.device_kb)) return std::nullopt;
     } else if (a == "--threads") {
-      const char* v = next();
-      if (!v) return std::nullopt;
-      o.threads = static_cast<std::uint32_t>(std::atoi(v));
+      if (!parse_flag(a, next(), o.threads)) return std::nullopt;
     } else if (a == "--csv") {
       o.csv = true;
+    } else if (a.rfind("--fault-", 0) == 0) {
+      const char* v = next();
+      if (!v) {
+        std::fprintf(stderr, "%s requires a value\n", a.c_str());
+        return std::nullopt;
+      }
+      try {
+        if (!gpusim::apply_fault_flag(o.faults, a, v)) {
+          std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+          return std::nullopt;
+        }
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return std::nullopt;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
       return std::nullopt;
@@ -254,6 +293,7 @@ int cmd_run(const Options& o, const obs::OutputOptions& out) {
 
   GpuConfig gcfg;
   gcfg.device_bytes = o.device_kb << 10;
+  gcfg.faults = o.faults;
   CpuConfig ccfg;
   ccfg.num_threads = o.threads;
 
@@ -299,9 +339,17 @@ int cmd_run(const Options& o, const obs::OutputOptions& out) {
         return 1;
       }
     }
-    print_result(o, r);
     obs::MetricsReport report("sepo_cli");
     report.add_run(o.app, r, run_extra(o, bytes));
+    if (r.error) {
+      // The run failed structurally (typed RunError on the result) — still
+      // write the telemetry so the failure is diffable, then exit 2.
+      std::fprintf(stderr, "run failed (%s): %s\n", r.error.kind_name(),
+                   r.error.message.c_str());
+      write_outputs(out, report, rec.get());
+      return 2;
+    }
+    print_result(o, r);
     if (!write_outputs(out, report, rec.get())) return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run failed: %s\n", e.what());
@@ -323,6 +371,7 @@ int cmd_compare(const Options& o, const obs::OutputOptions& out) {
     RunResult ra, rb;
     GpuConfig gcfg;
     gcfg.device_bytes = o.device_kb << 10;
+    gcfg.faults = o.faults;
     gcfg.trace = rec.get();
     if (rec) rec->begin_section(o.app + "/gpu");
     if (is_mr_app(o.app)) {
@@ -335,6 +384,11 @@ int cmd_compare(const Options& o, const obs::OutputOptions& out) {
       const std::string input = app->generate(bytes, o.seed);
       ra = app->run_gpu(input, gcfg);
       rb = app->run_cpu(input, {.num_threads = o.threads});
+    }
+    if (ra.error) {
+      std::fprintf(stderr, "gpu run failed (%s): %s\n", ra.error.kind_name(),
+                   ra.error.message.c_str());
+      return 2;
     }
     std::printf("gpu   : %.3f ms, %u iteration(s)\n", ra.sim_seconds * 1e3,
                 ra.iterations);
@@ -413,7 +467,7 @@ std::vector<std::string> check_metrics(const obs::Json& m) {
               problems.push_back(where + ".stats." + name + " missing");
           });
     }
-    for (const char* k : {"pcie", "serialization", "gpu_breakdown"})
+    for (const char* k : {"pcie", "serialization", "gpu_breakdown", "faults"})
       if (!r[k].is_object())
         problems.push_back(where + "." + k + " missing");
     if (!r["iteration_profiles"].is_array())
@@ -439,6 +493,18 @@ int cmd_metrics_diff(const std::string& old_path, const std::string& new_path,
   const auto older = load_metrics(old_path);
   const auto newer = load_metrics(new_path);
   if (!older || !newer) return 2;
+
+  // Files written under different schemas are incomparable (exit 2), which
+  // is distinct from "comparable but regressed" (exit 3).
+  const std::int64_t old_v = (*older)["schema_version"].as_i64();
+  const std::int64_t new_v = (*newer)["schema_version"].as_i64();
+  if (old_v != new_v) {
+    std::fprintf(stderr,
+                 "schema mismatch: %s is v%lld, %s is v%lld — not comparable\n",
+                 old_path.c_str(), static_cast<long long>(old_v),
+                 new_path.c_str(), static_cast<long long>(new_v));
+    return 2;
+  }
 
   // Baseline sim_seconds by (app, impl); first occurrence wins.
   std::map<std::string, double> base;
@@ -496,10 +562,13 @@ int main(int argc, char** argv) {
     double max_regress_pct = 5.0;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--max-regress-pct") == 0 && i + 1 < argc)
-        max_regress_pct = std::atof(argv[++i]);
-      else
+      if (std::strcmp(argv[i], "--max-regress-pct") == 0 && i + 1 < argc) {
+        if (!parse_flag<double>("--max-regress-pct", argv[++i],
+                                max_regress_pct))
+          return 1;
+      } else {
         paths.emplace_back(argv[i]);
+      }
     }
     if (paths.size() != 2) {
       usage();

@@ -7,7 +7,8 @@
 // on top of each bar in the paper's figure). Result checksums of the two
 // implementations are cross-validated on every run.
 //
-//   fig6_speedup [--tiny] [--fault-* ...] [--metrics-out=FILE] [--trace-out=FILE]
+//   fig6_speedup [--tiny] [--workers N] [--fault-* ...]
+//                [--metrics-out=FILE] [--trace-out=FILE]
 //
 // --tiny restricts to dataset #1 (the ctest metrics fixture uses it);
 // --fault-* flags (see sepo_cli usage) enable seeded fault injection on the
@@ -44,7 +45,8 @@ struct Row {
 };
 
 Row run_standalone(const StandaloneApp& app, int dataset,
-                   const gpusim::FaultConfig& faults, obs::TraceRecorder* rec) {
+                   const gpusim::FaultConfig& faults, std::size_t workers,
+                   obs::TraceRecorder* rec) {
   const std::size_t bytes = table1_bytes(app.table1_key(), dataset);
   const std::string input = app.generate(bytes, 1000 + dataset);
   if (rec) rec->begin_section(std::string(app.name()) + " #" +
@@ -52,12 +54,13 @@ Row run_standalone(const StandaloneApp& app, int dataset,
   GpuConfig gcfg;
   gcfg.faults = faults;
   gcfg.trace = rec;
+  gcfg.pool_workers = workers;
   return {app.name(), dataset, input.size(), app.run_gpu(input, gcfg),
-          app.run_cpu(input)};
+          app.run_cpu(input, {.pool_workers = workers})};
 }
 
 Row run_mr(const MrApp& app, int dataset, const gpusim::FaultConfig& faults,
-           obs::TraceRecorder* rec) {
+           std::size_t workers, obs::TraceRecorder* rec) {
   const std::size_t bytes = table1_bytes(app.table1_key, dataset);
   const std::string input = app.generate(bytes, 2000 + dataset);
   if (rec) rec->begin_section(std::string(app.name) + " #" +
@@ -65,14 +68,16 @@ Row run_mr(const MrApp& app, int dataset, const gpusim::FaultConfig& faults,
   GpuConfig gcfg;
   gcfg.faults = faults;
   gcfg.trace = rec;
+  gcfg.pool_workers = workers;
   return {app.name, dataset, input.size(), run_mr_sepo(app, input, gcfg),
-          run_mr_phoenix(app, input)};
+          run_mr_phoenix(app, input, {.pool_workers = workers})};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
+  const std::size_t workers = pool_workers_from_args(argc, argv);
   bool tiny = false;
   gpusim::FaultConfig faults;
   for (int i = 1; i < argc; ++i) {
@@ -118,12 +123,12 @@ int main(int argc, char** argv) {
     const StandaloneApp* standalone[] = {&netflix, &dna, &pvc, &ii};
     for (const StandaloneApp* app : standalone)
       for (int d = 1; d <= max_dataset; ++d)
-        rows.push_back(run_standalone(*app, d, faults, rec.get()));
+        rows.push_back(run_standalone(*app, d, faults, workers, rec.get()));
   }
   for (const MrApp* app :
        {&word_count_app(), &patent_citation_app(), &geo_location_app()})
     for (int d = 1; d <= max_dataset; ++d)
-      rows.push_back(run_mr(*app, d, faults, rec.get()));
+      rows.push_back(run_mr(*app, d, faults, workers, rec.get()));
 
   TablePrinter table({"app", "dataset", "input", "iterations", "table/heap",
                       "gpu sim (ms)", "cpu sim (ms)", "speedup", "results"});

@@ -1,0 +1,246 @@
+// host_perf — wall-clock benchmarks of the simulator's own execution hot
+// path (EXPERIMENTS.md "Wall-clock benchmarking").
+//
+// Everything else in bench/ reports *simulated* seconds, which are derived
+// from event counts and therefore host-independent. This binary is the one
+// place that times the host for its own sake: how fast the virtual GPU
+// executes, which is what bounds every bench/ctest run. It times
+//
+//   counter_bump_atomic    the pre-change hot-path shape: per-item
+//                          std::function dispatch, every virtual thread
+//                          bumping the shared RunStats atomics
+//   counter_bump_sharded   the same counter workload through gpusim::launch:
+//                          devirtualized dispatch + per-worker WorkerStats
+//                          shards (the contention-free path)
+//   empty_dispatch         per-item scheduling overhead alone (devirtualized
+//                          launch of a no-op kernel)
+//   fig6_pvc_gpu           an end-to-end Page View Count SEPO-GPU run
+//
+// and writes BENCH_host.json (obs::kBenchSchemaVersion) when --metrics-out
+// is given; `sepo_cli bench-check` validates it, `sepo_cli bench-diff`
+// compares two of them. Each bench takes the best of --reps runs to damp
+// scheduler noise. The atomic/sharded pair double-checks bit-identity: their
+// merged counter totals must match exactly or the binary exits 1.
+//
+//   host_perf [--tiny] [--workers N] [--reps N] [--metrics-out=FILE]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/datagen.hpp"
+#include "apps/standalone_app.hpp"
+#include "common/table_printer.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+using namespace sepo;
+using namespace sepo::gpusim;
+
+namespace {
+
+// The deterministic per-item counter workload shared with the
+// CounterShardTest fixture (tests/counter_shard_test.cpp): bumps derived
+// from a splitmix of the item index, so totals are independent of threading
+// and batch order.
+void fixture_kernel(RunStats& stats, std::size_t i) {
+  std::uint64_t x = (i + 1) * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  stats.add_records_scanned();
+  stats.add_work_units(x % 97);
+  stats.add_hash_ops();
+  if (x % 3 == 0)
+    stats.add_inserts_new();
+  else
+    stats.add_combines();
+  stats.add_chain_links(x % 5);
+  stats.add_key_compare_bytes((x >> 8) % 31);
+  stats.add_alloc_ops();
+  if (x % 7 == 0) stats.add_alloc_fails();
+  if (x % 11 == 0) stats.add_page_acquires();
+  stats.add_records_processed();
+}
+
+double now_minus(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t items = 0;
+  std::uint64_t reps = 0;
+  double wall_seconds = 0;  // best rep
+  double ops_per_sec = 0;   // items / wall_seconds
+};
+
+// Runs `body()` reps times and keeps the fastest rep: the minimum is the
+// least noisy estimator of the code's actual cost under scheduler jitter.
+template <typename Body>
+BenchResult bench(const std::string& name, std::uint64_t items, int reps,
+                  Body&& body) {
+  BenchResult r;
+  r.name = name;
+  r.items = items;
+  r.reps = static_cast<std::uint64_t>(reps);
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const double s = now_minus(t0);
+    if (rep == 0 || s < r.wall_seconds) r.wall_seconds = s;
+  }
+  r.ops_per_sec = static_cast<double>(items) / r.wall_seconds;
+  return r;
+}
+
+// Reproduces the pre-change hot path exactly: RunStats is not sharded (every
+// bump is a relaxed fetch_add on the shared atomics) and both the grid body
+// and the per-item kernel go through std::function, as the old non-template
+// launch/parallel_for did.
+void run_atomic_path(ThreadPool& pool, RunStats& stats, std::size_t items,
+                     std::size_t grid) {
+  const std::function<void(std::size_t)> kernel = [&stats](std::size_t i) {
+    fixture_kernel(stats, i);
+  };
+  stats.add_kernel_launches();
+  const std::function<void(std::size_t)> body = [&](std::size_t t) {
+    for (std::size_t i = t; i < items; i += grid) kernel(i);
+  };
+  pool.parallel_for(grid, body);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
+  const std::size_t workers = apps::pool_workers_from_args(argc, argv);
+  bool tiny = false;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--tiny") {
+      tiny = true;
+    } else if (a == "--reps" && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+      if (reps <= 0) reps = 1;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      std::fprintf(stderr,
+                   "usage: host_perf [--tiny] [--workers N] [--reps N] "
+                   "[--metrics-out=FILE]\n");
+      return 1;
+    }
+  }
+
+  const std::size_t items = tiny ? 200'000 : 2'000'000;
+  const std::size_t grid = 4096;
+  ThreadPool pool(workers);
+
+  std::printf("== host_perf: wall-clock cost of the simulate-and-meter hot "
+              "path ==\n");
+  std::printf("   workers: %zu, counter items: %zu, reps: %d (best kept)%s\n\n",
+              pool.worker_count(), items, reps, tiny ? ", --tiny" : "");
+
+  std::vector<BenchResult> results;
+
+  // Hot-path pair: identical counter math through the old and new path; the
+  // totals must be bit-identical (that is the sharding invariant).
+  RunStats stats_atomic;
+  results.push_back(bench("counter_bump_atomic", items, reps, [&] {
+    run_atomic_path(pool, stats_atomic, items, grid);
+  }));
+  RunStats stats_sharded;
+  results.push_back(bench("counter_bump_sharded", items, reps, [&] {
+    launch(pool, stats_sharded, items,
+           [&stats_sharded](std::size_t i) { fixture_kernel(stats_sharded, i); },
+           {.grid_threads = grid});
+  }));
+  if (stats_atomic.snapshot() != stats_sharded.snapshot()) {
+    std::fprintf(stderr,
+                 "FATAL: sharded counter totals diverge from the atomic "
+                 "path\n");
+    return 1;
+  }
+
+  // Scheduling overhead alone: a kernel the compiler cannot delete but that
+  // does no metering or work.
+  RunStats stats_empty;
+  results.push_back(bench("empty_dispatch", items, reps, [&] {
+    launch(pool, stats_empty, items,
+           [](std::size_t i) { asm volatile("" : : "r"(i)); },
+           {.grid_threads = grid});
+  }));
+
+  // End-to-end anchor: one Page View Count SEPO-GPU run, the fig6 workload.
+  {
+    apps::PageViewCountApp pvc;
+    const std::size_t bytes =
+        tiny ? (64u << 10) : apps::table1_bytes(pvc.table1_key(), 2);
+    const std::string input = pvc.generate(bytes, 1001);
+    apps::GpuConfig gcfg;
+    gcfg.pool_workers = workers;
+    results.push_back(bench("fig6_pvc_gpu", bytes, reps, [&] {
+      const apps::RunResult r = pvc.run_gpu(input, gcfg);
+      if (r.error || r.checksum == 0) {
+        std::fprintf(stderr, "FATAL: pvc run failed\n");
+        std::exit(1);
+      }
+    }));
+  }
+
+  TablePrinter table({"bench", "items", "wall (ms)", "Mops/s"});
+  for (const BenchResult& r : results)
+    table.add_row({r.name, TablePrinter::fmt_int(r.items),
+                   TablePrinter::fmt(r.wall_seconds * 1e3, 3),
+                   TablePrinter::fmt(r.ops_per_sec / 1e6, 2)});
+  table.print(std::cout);
+
+  const double speedup =
+      results[0].wall_seconds / results[1].wall_seconds;
+  std::printf("\ncounter-bump speedup (sharded vs atomic hot path): %.2fx\n",
+              speedup);
+
+  if (out.metrics_enabled()) {
+    obs::Json root = obs::Json::object();
+    root.set("schema_version", obs::kBenchSchemaVersion);
+    root.set("tool", "host_perf");
+    root.set("workers", static_cast<std::uint64_t>(pool.worker_count()));
+    root.set("tiny", tiny);
+    root.set("counter_bump_speedup", speedup);
+    obs::Json benches = obs::Json::array();
+    for (const BenchResult& r : results) {
+      obs::Json b = obs::Json::object();
+      b.set("name", r.name);
+      b.set("items", r.items);
+      b.set("reps", r.reps);
+      b.set("wall_seconds", r.wall_seconds);
+      b.set("ops_per_sec", r.ops_per_sec);
+      benches.push_back(std::move(b));
+    }
+    root.set("benches", std::move(benches));
+    std::ofstream f(out.metrics_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   out.metrics_path.c_str());
+      return 1;
+    }
+    root.write(f, 2);
+    f << '\n';
+    if (!f.good()) {
+      std::fprintf(stderr, "write to %s failed\n", out.metrics_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "bench results written to %s\n",
+                 out.metrics_path.c_str());
+  }
+  return 0;
+}

@@ -1,8 +1,40 @@
 #include "apps/harness.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "common/hashing.hpp"
 
 namespace sepo::apps {
+
+std::size_t pool_workers_from_args(int& argc, char** argv) {
+  std::size_t workers = 0;
+  if (const char* env = std::getenv("SEPO_WORKERS"))
+    workers = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      value = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "--workers requires a count argument\n");
+        continue;
+      }
+    } else {
+      argv[w++] = argv[i];
+      continue;
+    }
+    workers = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+  }
+  argc = w;
+  argv[argc] = nullptr;
+  return workers;
+}
 
 std::uint64_t checksum_kv(std::string_view key, std::uint64_t value) noexcept {
   // Commutative over the record set: summed into the digest by callers.

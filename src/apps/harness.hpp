@@ -90,6 +90,14 @@ struct RunError {
 // Maps the typed exceptions a run may surface onto a RunError.
 [[nodiscard]] RunError run_error_from(const std::exception& e);
 
+// Host-parallelism selection shared by sepo_cli and the bench binaries:
+// strips a `--workers N` / `--workers=N` flag from argv (compacting argc like
+// obs::OutputOptions::from_args) and returns its value; falls back to the
+// SEPO_WORKERS environment variable, then to 0 (= hardware concurrency, the
+// ThreadPool default). Plumb the result into GpuConfig/CpuConfig
+// .pool_workers to sweep host parallelism in perf runs.
+[[nodiscard]] std::size_t pool_workers_from_args(int& argc, char** argv);
+
 // One measured run of one implementation of one app.
 struct RunResult {
   std::string impl;                 // "sepo-gpu", "cpu", "pinned", ...

@@ -17,8 +17,7 @@ CpuHashTable::CpuHashTable(gpusim::RunStats& stats, CpuHashTableConfig cfg)
   bucket_mask_ = cfg_.num_buckets - 1;
   heads_ = std::vector<std::atomic<void*>>(cfg_.num_buckets);
   for (auto& h : heads_) h.store(nullptr, std::memory_order_relaxed);
-  locks_ = std::vector<gpusim::DeviceLock>(cfg_.num_buckets);
-  bucket_access_.assign(cfg_.num_buckets, 0);
+  locks_ = std::vector<gpusim::PaddedBucketLock>(cfg_.num_buckets);
   arenas_ = std::vector<Arena>(cfg_.max_threads);
 }
 
@@ -78,8 +77,8 @@ void CpuHashTable::insert_basic(std::uint32_t tid, std::uint32_t b,
   std::memcpy(e->key_data(), key.data(), key_len);
   if (val_len) std::memcpy(e->value_data(), value.data(), val_len);
 
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
   e->next = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
   heads_[b].store(e, std::memory_order_release);
   entry_count_.fetch_add(1, std::memory_order_relaxed);
@@ -89,8 +88,8 @@ void CpuHashTable::insert_basic(std::uint32_t tid, std::uint32_t b,
 void CpuHashTable::insert_combining(std::uint32_t tid, std::uint32_t b,
                                     std::string_view key,
                                     std::span<const std::byte> value) {
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
   for (auto* e = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
        e != nullptr; e = e->next) {
     stats_.add_chain_links();
@@ -121,8 +120,8 @@ void CpuHashTable::insert_multivalued(std::uint32_t tid, std::uint32_t b,
                                       std::string_view key,
                                       std::span<const std::byte> value) {
   const auto val_len = static_cast<std::uint32_t>(value.size());
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
   KeyEntry* ke = nullptr;
   for (auto* e = static_cast<KeyEntry*>(heads_[b].load(std::memory_order_relaxed));
        e != nullptr; e = e->next) {
@@ -159,7 +158,8 @@ void CpuHashTable::insert_multivalued(std::uint32_t tid, std::uint32_t b,
 
 CpuHashTable::BucketLoad CpuHashTable::bucket_load() const noexcept {
   BucketLoad load;
-  for (const std::uint32_t c : bucket_access_) {
+  for (const gpusim::PaddedBucketLock& pb : locks_) {
+    const std::uint32_t c = pb.accesses;
     load.total_accesses += c;
     load.max_bucket_accesses =
         std::max<std::uint64_t>(load.max_bucket_accesses, c);

@@ -159,8 +159,9 @@ class CpuHashTable {
   CpuHashTableConfig cfg_;
   std::uint32_t bucket_mask_;
   std::vector<std::atomic<void*>> heads_;
-  std::vector<gpusim::DeviceLock> locks_;
-  std::vector<std::uint32_t> bucket_access_;  // incremented under bucket lock
+  // Lock + access tally per bucket on private cache lines
+  // (gpusim::PaddedBucketLock); accesses incremented under the bucket lock.
+  std::vector<gpusim::PaddedBucketLock> locks_;
   std::vector<Arena> arenas_;
   std::atomic<std::size_t> entry_count_{0};
   std::atomic<std::size_t> value_count_{0};

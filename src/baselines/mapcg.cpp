@@ -41,8 +41,7 @@ MapCgRuntime::MapCgRuntime(gpusim::ExecContext& ctx, MapCgConfig cfg)
   dev_.alloc_static(static_cast<std::size_t>(cfg_.num_buckets) * 12);
   heads_ = std::vector<std::atomic<gpusim::DevPtr>>(cfg_.num_buckets);
   for (auto& h : heads_) h.store(gpusim::kDevNull, std::memory_order_relaxed);
-  locks_ = std::vector<gpusim::DeviceLock>(cfg_.num_buckets);
-  bucket_access_.assign(cfg_.num_buckets, 0);
+  locks_ = std::vector<gpusim::PaddedBucketLock>(cfg_.num_buckets);
 }
 
 gpusim::DevPtr MapCgRuntime::global_alloc(std::uint32_t bytes) {
@@ -63,8 +62,8 @@ core::Status MapCgRuntime::insert(std::string_view key,
   stats_.add_hash_ops();
   const auto b =
       static_cast<std::uint32_t>(hash_key(key)) & bucket_mask_;
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
 
   KeyNode* kn = nullptr;
   for (gpusim::DevPtr p = heads_[b].load(std::memory_order_relaxed);
@@ -231,7 +230,8 @@ void MapCgRuntime::for_each_group(
 
 MapCgRuntime::BucketLoad MapCgRuntime::bucket_load() const noexcept {
   BucketLoad load;
-  for (const std::uint32_t c : bucket_access_) {
+  for (const gpusim::PaddedBucketLock& pb : locks_) {
+    const std::uint32_t c = pb.accesses;
     load.total_accesses += c;
     load.max_bucket_accesses =
         std::max<std::uint64_t>(load.max_bucket_accesses, c);

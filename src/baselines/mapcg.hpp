@@ -120,8 +120,9 @@ class MapCgRuntime {
   std::uint32_t bucket_mask_;
 
   std::vector<std::atomic<gpusim::DevPtr>> heads_;
-  std::vector<gpusim::DeviceLock> locks_;
-  std::vector<std::uint32_t> bucket_access_;
+  // Lock + access tally per bucket on private cache lines
+  // (gpusim::PaddedBucketLock); accesses incremented under the bucket lock.
+  std::vector<gpusim::PaddedBucketLock> locks_;
 
   gpusim::DevPtr arena_base_ = gpusim::kDevNull;
   std::size_t arena_size_ = 0;

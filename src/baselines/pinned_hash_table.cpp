@@ -19,8 +19,7 @@ PinnedHashTable::PinnedHashTable(gpusim::ExecContext& ctx,
   dev_.alloc_static(static_cast<std::size_t>(cfg_.num_buckets) * 12);
   heads_ = std::vector<std::atomic<void*>>(cfg_.num_buckets);
   for (auto& h : heads_) h.store(nullptr, std::memory_order_relaxed);
-  locks_ = std::vector<gpusim::DeviceLock>(cfg_.num_buckets);
-  bucket_access_.assign(cfg_.num_buckets, 0);
+  locks_ = std::vector<gpusim::PaddedBucketLock>(cfg_.num_buckets);
 }
 
 void* PinnedHashTable::pinned_alloc(std::size_t bytes) {
@@ -67,8 +66,8 @@ void PinnedHashTable::insert_basic(std::uint32_t b, std::string_view key,
       sizeof(KvEntry) + core::pad8(key_len) + core::pad8(val_len);
   auto* e = static_cast<KvEntry*>(pinned_alloc(sz));
 
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
   e->next = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
   e->key_len = key_len;
   e->val_len = val_len;
@@ -82,8 +81,8 @@ void PinnedHashTable::insert_basic(std::uint32_t b, std::string_view key,
 
 void PinnedHashTable::insert_combining(std::uint32_t b, std::string_view key,
                                        std::span<const std::byte> value) {
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
   for (auto* e = static_cast<KvEntry*>(heads_[b].load(std::memory_order_relaxed));
        e != nullptr; e = e->next) {
     stats_.add_chain_links();
@@ -119,8 +118,8 @@ void PinnedHashTable::insert_combining(std::uint32_t b, std::string_view key,
 void PinnedHashTable::insert_multivalued(std::uint32_t b, std::string_view key,
                                          std::span<const std::byte> value) {
   const auto val_len = static_cast<std::uint32_t>(value.size());
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
   KeyEntry* ke = nullptr;
   for (auto* e = static_cast<KeyEntry*>(heads_[b].load(std::memory_order_relaxed));
        e != nullptr; e = e->next) {
@@ -210,7 +209,8 @@ void PinnedHashTable::for_each_group(
 
 PinnedHashTable::BucketLoad PinnedHashTable::bucket_load() const noexcept {
   BucketLoad load;
-  for (const std::uint32_t c : bucket_access_) {
+  for (const gpusim::PaddedBucketLock& pb : locks_) {
+    const std::uint32_t c = pb.accesses;
     load.total_accesses += c;
     load.max_bucket_accesses =
         std::max<std::uint64_t>(load.max_bucket_accesses, c);

@@ -139,8 +139,9 @@ class PinnedHashTable {
   std::uint32_t bucket_mask_;
 
   std::vector<std::atomic<void*>> heads_;       // device-resident
-  std::vector<gpusim::DeviceLock> locks_;       // device-resident
-  std::vector<std::uint32_t> bucket_access_;
+  // Lock + access tally per bucket on private cache lines (device-resident;
+  // padding is host-only, see gpusim::PaddedBucketLock).
+  std::vector<gpusim::PaddedBucketLock> locks_;
 
   gpusim::DeviceLock heap_lock_;                // pinned-region bump alloc
   std::vector<std::unique_ptr<std::byte[]>> heap_chunks_;

@@ -18,8 +18,7 @@ StadiumHashTable::StadiumHashTable(gpusim::ExecContext& ctx, StadiumConfig cfg)
   for (auto& h : index_heads_) h.store(gpusim::kDevNull);
   entry_heads_ = std::vector<std::atomic<HostEntry*>>(cfg_.num_buckets);
   for (auto& h : entry_heads_) h.store(nullptr);
-  locks_ = std::vector<gpusim::DeviceLock>(cfg_.num_buckets);
-  bucket_access_.assign(cfg_.num_buckets, 0);
+  locks_ = std::vector<gpusim::PaddedBucketLock>(cfg_.num_buckets);
 }
 
 void* StadiumHashTable::host_alloc(std::size_t bytes) {
@@ -68,8 +67,8 @@ void StadiumHashTable::insert(std::string_view key,
   if (val_len) std::memcpy(e->value_data(), value.data(), val_len);
   dev_.bus().remote(sz);
 
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
   // Record the fingerprint in the device-resident index (device-memory
   // work only; no bus traffic).
   gpusim::DevPtr head = index_heads_[b].load(std::memory_order_relaxed);
@@ -98,8 +97,8 @@ std::vector<std::span<const std::byte>> StadiumHashTable::lookup_all(
   const std::uint16_t fp = fingerprint(h);
 
   std::vector<std::span<const std::byte>> out;
-  gpusim::DeviceLockGuard guard(locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(locks_[b].lock, stats_);
+  ++locks_[b].accesses;
 
   // Walk the device index and the host chain in lockstep: fingerprints are
   // stored newest-first in blocks, matching the entry list order.
@@ -137,7 +136,8 @@ void StadiumHashTable::for_each(
 
 StadiumHashTable::BucketLoad StadiumHashTable::bucket_load() const noexcept {
   BucketLoad load;
-  for (const std::uint32_t c : bucket_access_) {
+  for (const gpusim::PaddedBucketLock& pb : locks_) {
+    const std::uint32_t c = pb.accesses;
     load.total_accesses += c;
     load.max_bucket_accesses =
         std::max<std::uint64_t>(load.max_bucket_accesses, c);

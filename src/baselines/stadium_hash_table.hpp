@@ -131,8 +131,9 @@ class StadiumHashTable {
   // Device-resident per-bucket index heads + host-resident entry heads.
   std::vector<std::atomic<gpusim::DevPtr>> index_heads_;
   std::vector<std::atomic<HostEntry*>> entry_heads_;  // pinned CPU memory
-  std::vector<gpusim::DeviceLock> locks_;
-  std::vector<std::uint32_t> bucket_access_;
+  // Lock + access tally per bucket on private cache lines
+  // (gpusim::PaddedBucketLock); accesses incremented under the bucket lock.
+  std::vector<gpusim::PaddedBucketLock> locks_;
 
   gpusim::DeviceLock host_lock_;
   std::vector<std::unique_ptr<std::byte[]>> host_chunks_;

@@ -26,12 +26,14 @@ SepoHashTable::SepoHashTable(gpusim::ExecContext& ctx, HashTableConfig cfg)
 
   // The bucket array and its locks live in device memory: reserve their
   // footprint there so the heap gets only what genuinely remains (§IV-A).
+  // Charged at the compact device layout (bucket + 4-byte lock word), NOT at
+  // sizeof(PaddedBucketLock): the cache-line padding is a host-side
+  // anti-false-sharing measure and must not shrink the simulated heap.
   const std::size_t bucket_bytes =
       static_cast<std::size_t>(cfg_.num_buckets) * (sizeof(Bucket) + 4);
   dev_.alloc_static(bucket_bytes);
   buckets_ = std::vector<Bucket>(cfg_.num_buckets);
-  bucket_locks_ = std::vector<gpusim::DeviceLock>(cfg_.num_buckets);
-  bucket_access_.assign(cfg_.num_buckets, 0);
+  bucket_locks_ = std::vector<gpusim::PaddedBucketLock>(cfg_.num_buckets);
 
   const std::size_t heap_bytes =
       cfg_.heap_bytes == 0 ? dev_.mem_free() : cfg_.heap_bytes;
@@ -104,8 +106,8 @@ Status SepoHashTable::insert_basic(std::uint32_t b, std::string_view key,
   const auto val_len = static_cast<std::uint32_t>(value.size());
   const std::uint32_t sz = KvEntry::byte_size(key_len, val_len);
 
-  gpusim::DeviceLockGuard guard(bucket_locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(bucket_locks_[b].lock, stats_);
+  ++bucket_locks_[b].accesses;
   const alloc::Allocation a =
       allocator_->alloc(group_of(b), alloc::PageClass::kGeneric, sz, stats_);
   if (!a.ok()) return Status::kPostpone;
@@ -129,8 +131,8 @@ Status SepoHashTable::insert_combining(std::uint32_t b, std::string_view key,
   const auto key_len = static_cast<std::uint32_t>(key.size());
   const auto val_len = static_cast<std::uint32_t>(value.size());
 
-  gpusim::DeviceLockGuard guard(bucket_locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(bucket_locks_[b].lock, stats_);
+  ++bucket_locks_[b].accesses;
   const DevPtr existing = find_in_chain(b, key);
   if (existing != gpusim::kDevNull) {
     auto* e = dev_.ptr<KvEntry>(existing);
@@ -164,8 +166,8 @@ Status SepoHashTable::insert_multivalued(std::uint32_t b, std::string_view key,
   const auto val_len = static_cast<std::uint32_t>(value.size());
   const std::uint32_t g = group_of(b);
 
-  gpusim::DeviceLockGuard guard(bucket_locks_[b], stats_);
-  ++bucket_access_[b];
+  gpusim::DeviceLockGuard guard(bucket_locks_[b].lock, stats_);
+  ++bucket_locks_[b].accesses;
   DevPtr kp = find_key_entry(b, key);
   bool fresh_key = false;
 
@@ -277,7 +279,7 @@ void SepoHashTable::rebuild_device_chains() {
       auto* ke = dev_.ptr<KeyEntry>(ep);
       const std::uint32_t b = bucket_of(ke->key());
       ke->vhead_dev = gpusim::kDevNull;  // all value pages were flushed
-      gpusim::DeviceLockGuard guard(bucket_locks_[b], stats_);
+      gpusim::DeviceLockGuard guard(bucket_locks_[b].lock, stats_);
       ke->next_dev = buckets_[b].head_dev.load(std::memory_order_relaxed);
       buckets_[b].head_dev.store(ep, std::memory_order_release);
       stats_.add_chain_links();
@@ -381,7 +383,8 @@ HostTable SepoHashTable::finalize() {
 
 SepoHashTable::BucketLoad SepoHashTable::bucket_load() const noexcept {
   BucketLoad load;
-  for (const std::uint32_t c : bucket_access_) {
+  for (const gpusim::PaddedBucketLock& pb : bucket_locks_) {
+    const std::uint32_t c = pb.accesses;
     load.total_accesses += c;
     load.max_bucket_accesses = std::max<std::uint64_t>(load.max_bucket_accesses, c);
   }

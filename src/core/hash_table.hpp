@@ -174,8 +174,11 @@ class SepoHashTable {
   std::unique_ptr<alloc::BucketGroupAllocator> allocator_;
 
   std::vector<Bucket> buckets_;
-  std::vector<gpusim::DeviceLock> bucket_locks_;
-  std::vector<std::uint32_t> bucket_access_;  // incremented under bucket lock
+  // Lock + access tally per bucket, each on its own cache line
+  // (gpusim::PaddedBucketLock) so concurrent inserts to *different* buckets
+  // never false-share. Device-memory accounting still charges the compact
+  // lock+counter footprint (see the ctor) — the padding is host-only.
+  std::vector<gpusim::PaddedBucketLock> bucket_locks_;
 
   // Multi-valued: key pages kept resident across iterations because some of
   // their keys still await values (paper §IV-C).

@@ -78,16 +78,25 @@ Event ExecContext::stage_h2d(DevPtr dst, const void* src, std::size_t bytes,
 Event ExecContext::launch(std::size_t n_items,
                           const std::function<void(std::size_t)>& kernel,
                           LaunchConfig cfg, Event after) {
+  // Forward to the member template with an explicit type so this overload
+  // does not recurse into itself.
+  return launch<const std::function<void(std::size_t)>&>(n_items, kernel, cfg,
+                                                         after);
+}
+
+ExecContext::LaunchBaseline ExecContext::begin_launch(Event after) {
   compute_.wait(after);
   // Abort faults are decided *before* the chunk physically executes — an
   // aborted launch must have no side effects, and the simulator cannot undo
   // a kernel's real work after the fact.
   if (faults_) fault_launch_aborts();
+  return {stats_.snapshot(), dev_.bus().snapshot()};
+}
 
-  const StatsSnapshot stats_before = stats_.snapshot();
-  const PcieSnapshot bus_before = dev_.bus().snapshot();
-  gpusim::launch(pool_, stats_, n_items, kernel, cfg);
-  const StatsSnapshot delta = stats_.snapshot() - stats_before;
+Event ExecContext::finish_launch(const LaunchBaseline& base,
+                                 std::size_t n_items) {
+  const StatsSnapshot delta = stats_.snapshot() - base.stats_before;
+  const PcieSnapshot& bus_before = base.bus_before;
   const PcieSnapshot bus_after = dev_.bus().snapshot();
 
   Event done = compute_.kernel(delta, n_items);

@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <utility>
 
 #include "gpusim/cost_model.hpp"
 #include "gpusim/device.hpp"
@@ -80,9 +81,23 @@ class ExecContext {
   // `after` (typically its input chunk's staging event). Remote traffic the
   // kernel generated (pinned baseline) is scheduled directly after it and
   // halts later compute, matching the analytic serialization rule.
+  //
+  // std::function overload: ABI-stable entry point (exec_context.cpp).
   Event launch(std::size_t n_items,
                const std::function<void(std::size_t)>& kernel,
                LaunchConfig cfg = {}, Event after = {});
+
+  // Devirtualized overload: the kernel type flows through to the pool's
+  // batch loop so per-item dispatch inlines. The scheduling bookkeeping on
+  // both sides of the physical execution is shared with the std::function
+  // overload via begin_launch/finish_launch.
+  template <typename Kernel>
+  Event launch(std::size_t n_items, Kernel&& kernel, LaunchConfig cfg = {},
+               Event after = {}) {
+    const LaunchBaseline base = begin_launch(after);
+    gpusim::launch(pool_, stats_, n_items, std::forward<Kernel>(kernel), cfg);
+    return finish_launch(base, n_items);
+  }
 
   // Schedules a d2h flush transfer of `bytes` (the caller already performed
   // the page copy and bus metering). Flushes halt computation (§IV-C): the
@@ -96,6 +111,21 @@ class ExecContext {
   }
 
  private:
+  // Counter/bus state captured just before a kernel physically executes;
+  // finish_launch turns it into the kernel's delta for pricing.
+  struct LaunchBaseline {
+    StatsSnapshot stats_before;
+    PcieSnapshot bus_before;
+  };
+
+  // The serial host-side scheduling work bracketing every kernel launch:
+  // begin_launch orders the kernel after `after`, interposes abort faults,
+  // and snapshots the baseline; finish_launch prices the counter delta,
+  // schedules the compute command, and drains any remote traffic the kernel
+  // generated (with its fault retries).
+  LaunchBaseline begin_launch(Event after);
+  Event finish_launch(const LaunchBaseline& base, std::size_t n_items);
+
   // Prices the failed attempts (and their backoffs) a transfer suffers
   // before its successful attempt; throws FaultError on retry exhaustion.
   void fault_transfer_attempts(bool is_d2h, std::uint64_t bytes);

@@ -1,42 +1,14 @@
 #include "gpusim/launch.hpp"
 
-#include "gpusim/trace_hook.hpp"
-
 namespace sepo::gpusim {
-
-namespace {
-
-void run_grid(ThreadPool& pool, std::size_t n_items,
-              const std::function<void(std::size_t)>& kernel,
-              const LaunchConfig& cfg) {
-  const std::size_t grid = cfg.grid_threads == 0 ? n_items : cfg.grid_threads;
-  if (grid >= n_items) {
-    pool.parallel_for(n_items, kernel);
-    return;
-  }
-  // Grid-stride loop: virtual thread t handles items t, t+grid, t+2*grid, ...
-  pool.parallel_for(grid, [&](std::size_t t) {
-    for (std::size_t i = t; i < n_items; i += grid) kernel(i);
-  });
-}
-
-}  // namespace
 
 void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
             const std::function<void(std::size_t)>& kernel, LaunchConfig cfg) {
-  TraceHook* const hook = stats.trace_hook();
-  if (!hook) {
-    stats.add_kernel_launches();
-    if (n_items != 0) run_grid(pool, n_items, kernel, cfg);
-    return;
-  }
-  // Telemetry: report the counter delta this kernel produced (including its
-  // own launch cost). Launches are serial on the host side, so before/after
-  // snapshots bracket exactly this kernel's events.
-  const StatsSnapshot before = stats.snapshot();
-  stats.add_kernel_launches();
-  if (n_items != 0) run_grid(pool, n_items, kernel, cfg);
-  hook->on_kernel(stats.snapshot() - before, n_items);
+  // Forward to the template with an explicit type so this overload does not
+  // recurse into itself; the per-item std::function dispatch is confined to
+  // call sites that erased the kernel type on purpose.
+  launch<const std::function<void(std::size_t)>&>(pool, stats, n_items, kernel,
+                                                  cfg);
 }
 
 }  // namespace sepo::gpusim

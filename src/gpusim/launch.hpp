@@ -14,6 +14,7 @@
 
 #include "gpusim/counters.hpp"
 #include "gpusim/thread_pool.hpp"
+#include "gpusim/trace_hook.hpp"
 
 namespace sepo::gpusim {
 
@@ -25,12 +26,63 @@ struct LaunchConfig {
   std::size_t grid_threads = 0;
 };
 
+namespace detail {
+
+// Distributes items over grid threads and runs them on the pool, with the
+// counters sharded for exactly the kernel's duration: every stats bump from
+// inside the kernel lands in the executing worker's private WorkerStats
+// line, and the shards fold back into the canonical atomics when the scope
+// closes — after the pool has quiesced, before any snapshot can observe the
+// totals. Host-side bumps outside this scope keep using the atomics.
+template <typename Kernel>
+void run_grid(ThreadPool& pool, RunStats& stats, std::size_t n_items,
+              Kernel& kernel, const LaunchConfig& cfg) {
+  StatsShardScope shards(stats, pool.worker_count());
+  const std::size_t grid = cfg.grid_threads == 0 ? n_items : cfg.grid_threads;
+  if (grid >= n_items) {
+    pool.parallel_for(n_items, kernel);
+    return;
+  }
+  // Grid-stride loop: virtual thread t handles items t, t+grid, t+2*grid, ...
+  pool.parallel_for(grid, [&](std::size_t t) {
+    for (std::size_t i = t; i < n_items; i += grid) kernel(i);
+  });
+}
+
+}  // namespace detail
+
 // Launches `kernel(item)` for every item in [0, n_items). Items are
 // distributed over grid threads in a grid-stride loop, like the canonical
 // CUDA pattern; grid threads are in turn multiplexed onto the pool.
+//
+// std::function overload: ABI-stable entry point for call sites holding
+// type-erased kernels (defined in launch.cpp).
 void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
             const std::function<void(std::size_t)>& kernel,
             LaunchConfig cfg = {});
+
+// Devirtualized overload: instantiated per concrete kernel type so the
+// per-item call inlines all the way into ThreadPool's batch loop. Overload
+// resolution picks this for lambdas/functors and keeps the std::function
+// overload above for std::function lvalues.
+template <typename Kernel>
+void launch(ThreadPool& pool, RunStats& stats, std::size_t n_items,
+            Kernel&& kernel, LaunchConfig cfg = {}) {
+  TraceHook* const hook = stats.trace_hook();
+  if (!hook) {
+    stats.add_kernel_launches();
+    if (n_items != 0) detail::run_grid(pool, stats, n_items, kernel, cfg);
+    return;
+  }
+  // Telemetry: report the counter delta this kernel produced (including its
+  // own launch cost). Launches are serial on the host side, so before/after
+  // snapshots bracket exactly this kernel's events — run_grid's shard scope
+  // has already folded by the time the "after" snapshot is taken.
+  const StatsSnapshot before = stats.snapshot();
+  stats.add_kernel_launches();
+  if (n_items != 0) detail::run_grid(pool, stats, n_items, kernel, cfg);
+  hook->on_kernel(stats.snapshot() - before, n_items);
+}
 
 // A spinlock in device memory (stands in for a CUDA atomicCAS lock). The
 // acquire is counted so the cost model can price contention: the paper
@@ -83,6 +135,16 @@ class DeviceLockGuard {
 
  private:
   DeviceLock& l_;
+};
+
+// One hash bucket's lock and its host-side access tally, padded onto a
+// private cache line so neighbouring buckets never false-share. The tables'
+// *device-memory* accounting (alloc_static footprint) is unchanged by this
+// host-side layout — a real GPU bucket would not carry the padding, so the
+// simulated heap must not either.
+struct alignas(kCacheLineBytes) PaddedBucketLock {
+  DeviceLock lock;
+  std::uint32_t accesses = 0;  // bumped under `lock`, read when quiescent
 };
 
 }  // namespace sepo::gpusim

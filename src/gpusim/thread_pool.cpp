@@ -1,19 +1,28 @@
 #include "gpusim/thread_pool.hpp"
 
-#include <algorithm>
-
 namespace sepo::gpusim {
+
+namespace {
+// Index of this OS thread within the pool whose job it is running. Helpers
+// set it once at startup; the submitting thread pins it to 0 for the span of
+// each job it participates in (see run_job), so the value is always in
+// [0, worker_count) of the pool that owns the current job.
+thread_local std::size_t t_worker_index = 0;
+}  // namespace
+
+std::size_t current_worker_index() noexcept { return t_worker_index; }
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
     const unsigned hc = std::thread::hardware_concurrency();
     workers = hc > 0 ? hc : 1;
   }
-  // The calling thread is always a participant; spawn workers-1 helpers.
+  // The calling thread is always participant 0; spawn workers-1 helpers with
+  // indices 1..workers-1.
   const std::size_t helpers = workers > 0 ? workers - 1 : 0;
   threads_.reserve(helpers);
   for (std::size_t i = 0; i < helpers; ++i)
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, idx = i + 1] { worker_loop(idx); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,7 +34,8 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_index = index;
   std::uint64_t seen = 0;
   while (true) {
     Job* job = nullptr;
@@ -43,7 +53,9 @@ void ThreadPool::worker_loop() {
     {
       std::lock_guard<std::mutex> lk(mu_);
       job->in_flight.fetch_sub(1, std::memory_order_relaxed);
-      cv_done_.notify_all();
+      // Only the single submitter ever waits on cv_done_ (submissions are
+      // serialized by submit_mu_), so one wakeup is exactly enough.
+      cv_done_.notify_one();
     }
   }
 }
@@ -53,24 +65,24 @@ void ThreadPool::help(Job& job) {
     const std::size_t start = job.next.fetch_add(job.batch, std::memory_order_relaxed);
     if (start >= job.n) break;
     const std::size_t end = std::min(start + job.batch, job.n);
-    for (std::size_t i = start; i < end; ++i) job.body(i);
+    job.invoke(job.body, start, end);
     if (job.remaining.fetch_sub(end - start, std::memory_order_acq_rel) ==
         end - start) {
       std::lock_guard<std::mutex> lk(mu_);
-      cv_done_.notify_all();
+      cv_done_.notify_one();
     }
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
-  if (n == 0) return;
+// Shared submit/execute/drain path behind both parallel_for and run_parties.
+void ThreadPool::run_job(std::size_t n, std::size_t batch, BatchFn invoke,
+                         void* body) {
+  std::lock_guard<std::mutex> submit(submit_mu_);
   Job job;
+  job.invoke = invoke;
   job.body = body;
   job.n = n;
-  // Batch so that each worker sees on the order of 16 batches — small enough
-  // for balance, large enough to amortize the atomic claim.
-  job.batch = std::max<std::size_t>(1, n / (worker_count() * 16));
+  job.batch = batch;
   job.remaining.store(n, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -78,7 +90,13 @@ void ThreadPool::parallel_for(std::size_t n,
     ++job_seq_;
   }
   cv_work_.notify_all();
+  // Participate as worker 0 of *this* pool for the span of the job; save and
+  // restore so a submitter that is itself a helper of some other pool does
+  // not leak a foreign index into this pool's shard addressing.
+  const std::size_t saved_index = t_worker_index;
+  t_worker_index = 0;
   help(job);
+  t_worker_index = saved_index;
   {
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [&] {
@@ -89,29 +107,20 @@ void ThreadPool::parallel_for(std::size_t n,
   }
 }
 
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Batch so that each worker sees on the order of 16 batches — small enough
+  // for balance, large enough to amortize the atomic claim.
+  run_job(n, std::max<std::size_t>(1, n / (worker_count() * 16)),
+          &invoke_batch<const std::function<void(std::size_t)>>, body_ptr(body));
+}
+
 void ThreadPool::run_parties(std::size_t parties,
                              const std::function<void(std::size_t)>& body) {
   if (parties == 0) return;
-  Job job;
-  job.body = body;
-  job.n = parties;
-  job.batch = 1;
-  job.remaining.store(parties, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    job_ = &job;
-    ++job_seq_;
-  }
-  cv_work_.notify_all();
-  help(job);
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_done_.wait(lk, [&] {
-      return job.remaining.load(std::memory_order_acquire) == 0 &&
-             job.in_flight.load(std::memory_order_relaxed) == 0;
-    });
-    job_ = nullptr;
-  }
+  run_job(parties, 1, &invoke_batch<const std::function<void(std::size_t)>>,
+          body_ptr(body));
 }
 
 }  // namespace sepo::gpusim

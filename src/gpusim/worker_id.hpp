@@ -1,0 +1,23 @@
+// Host-execution identity and layout constants for the simulator's own hot
+// path. The virtual device is multiplexed onto a small host ThreadPool;
+// contention-free metering (gpusim::WorkerStats shards) and false-sharing
+// padding both need to know which pool worker is running and how big a
+// cache line is.
+#pragma once
+
+#include <cstddef>
+
+namespace sepo::gpusim {
+
+// Destructive-interference granularity of the host. Hardcoded rather than
+// std::hardware_destructive_interference_size so struct layouts (and the
+// committed BENCH_host.json baselines) do not depend on the build machine.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+// Stable index of the calling OS thread within the executing ThreadPool:
+// 0 for the submitting thread (which participates in every job), 1..N-1 for
+// the pool's helper threads. Threads that never joined a pool report 0.
+// Defined in thread_pool.cpp (thread-local, set once per helper).
+[[nodiscard]] std::size_t current_worker_index() noexcept;
+
+}  // namespace sepo::gpusim

@@ -59,6 +59,13 @@ namespace sepo::obs {
 
 inline constexpr int kMetricsSchemaVersion = 3;
 
+// Schema of BENCH_host.json, the *wall-clock* benchmark file written by
+// bench/host_perf (distinct from the simulated-time metrics schema above):
+//   { schema_version, tool: "host_perf", workers, tiny,
+//     benches: [ { name, items, reps, wall_seconds, ops_per_sec } ] }
+// Validated by `sepo_cli bench-check`, compared by `sepo_cli bench-diff`.
+inline constexpr int kBenchSchemaVersion = 1;
+
 [[nodiscard]] Json to_json(const gpusim::StatsSnapshot& s);
 [[nodiscard]] Json to_json(const gpusim::PcieSnapshot& p);
 [[nodiscard]] Json to_json(const gpusim::SerializationInputs& s);

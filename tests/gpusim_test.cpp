@@ -54,6 +54,92 @@ TEST(ThreadPoolTest, RunPartiesGivesDistinctIds) {
   for (auto& s : seen) EXPECT_EQ(s.load(), 1);
 }
 
+TEST(ThreadPoolTest, StdFunctionOverloadStillWorks) {
+  // The type-erased overloads are the ABI-stable entry points; make sure
+  // overload resolution actually reaches them and they behave identically.
+  ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  const std::function<void(std::size_t)> body = [&](std::size_t i) {
+    sum.fetch_add(i + 1);
+  };
+  pool.parallel_for(100, body);
+  EXPECT_EQ(sum.load(), 100u * 101u / 2);
+  sum.store(0);
+  pool.run_parties(5, body);
+  EXPECT_EQ(sum.load(), 1u + 2 + 3 + 4 + 5);
+}
+
+TEST(ThreadPoolTest, WorkerIndexStaysInRange) {
+  // current_worker_index() addresses WorkerStats shards sized to
+  // worker_count(); an out-of-range index would corrupt neighboring memory.
+  ThreadPool pool(4);
+  std::atomic<int> bad{0};
+  std::vector<std::atomic<int>> seen(pool.worker_count());
+  pool.parallel_for(100000, [&](std::size_t) {
+    const std::size_t w = current_worker_index();
+    if (w >= seen.size())
+      bad.fetch_add(1);
+    else
+      seen[w].fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GT(seen[0].load(), 0) << "submitting thread participates as 0";
+}
+
+TEST(ThreadPoolTest, StressReuseManyRoundsVaryingSizes) {
+  // Rapid-fire reuse across wildly varying job sizes: exercises the
+  // publish/claim/drain handshake (job_seq_, in_flight, cv_done_) under the
+  // tsan preset via the sanitize label.
+  ThreadPool pool(4);
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t n = static_cast<std::size_t>((round * 37) % 613) + 1;
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(n, [&](std::size_t i) { sum.fetch_add(i + 1); });
+    ASSERT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersSerializeSafely) {
+  // parallel_for from several foreign threads at once: the pool's single job
+  // slot must serialize them without losing items or tearing a live Job.
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 50;
+  std::vector<std::atomic<std::size_t>> sums(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::size_t n = static_cast<std::size_t>(100 + s * 13 + round);
+        pool.parallel_for(n,
+                          [&](std::size_t i) { sums[s].fetch_add(i + 1); });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    std::size_t expect = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      const std::size_t n = static_cast<std::size_t>(100 + s * 13 + round);
+      expect += n * (n + 1) / 2;
+    }
+    EXPECT_EQ(sums[s].load(), expect) << "submitter " << s;
+  }
+}
+
+TEST(ThreadPoolTest, InterleavedParallelForAndParties) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(501, [&](std::size_t i) { sum.fetch_add(i); });
+    ASSERT_EQ(sum.load(), 501u * 500u / 2);
+    std::vector<std::atomic<int>> seen(4);
+    pool.run_parties(4, [&](std::size_t p) { seen[p].fetch_add(1); });
+    for (auto& s : seen) ASSERT_EQ(s.load(), 1);
+  }
+}
+
 // ---- device ----
 
 TEST(DeviceTest, StaticAllocationsAreAlignedAndDisjoint) {

@@ -336,7 +336,13 @@ TEST(StatsFields, GeneratedPlumbingIsConsistent) {
   EXPECT_EQ(sum.hash_ops, 6u);
   const auto diff = sum - snap;
   EXPECT_EQ(diff, snap);
-  EXPECT_EQ(snap - sum, gpusim::StatsSnapshot{});  // saturating
+#ifdef NDEBUG
+  EXPECT_EQ(snap - sum, gpusim::StatsSnapshot{});  // saturating in release
+#else
+  // Debug builds assert on saturation: a shrinking counter means the deltas
+  // were taken at the wrong observation points.
+  EXPECT_DEATH(snap - sum, "saturated");
+#endif
 
   stats.reset();
   EXPECT_EQ(stats.snapshot(), gpusim::StatsSnapshot{});

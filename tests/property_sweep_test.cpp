@@ -155,8 +155,8 @@ TEST(BinarySafetyTest, KeysAndValuesWithEmbeddedNulsAndHighBytes) {
   SepoHashTable ht(rig.ctx, cfg);
   ht.begin_iteration();
 
-  const std::string k1("\0\x01\xff key", 9);
-  const std::string k2("\0\x01\xfe key", 9);  // differs one byte inside
+  const std::string k1("\0\x01\xff key", 8);  // trailing byte is the NUL
+  const std::string k2("\0\x01\xfe key", 8);  // differs one byte inside
   const std::string v1("\xde\xad\0\xbe\xef", 5);
   ASSERT_EQ(ht.insert(k1, std::as_bytes(std::span{v1.data(), v1.size()})),
             Status::kSuccess);
@@ -169,7 +169,7 @@ TEST(BinarySafetyTest, KeysAndValuesWithEmbeddedNulsAndHighBytes) {
   const auto got2 = t.lookup(k2);
   ASSERT_TRUE(got2.has_value());
   EXPECT_EQ(got2->size(), 0u);  // zero-length value round-trips
-  EXPECT_FALSE(t.lookup(std::string("\0\x01\xfd key", 9)).has_value());
+  EXPECT_FALSE(t.lookup(std::string("\0\x01\xfd key", 8)).has_value());
 }
 
 TEST(BinarySafetyTest, EmptyKeyIsAValidKey) {

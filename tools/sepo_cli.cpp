@@ -55,6 +55,9 @@ struct Options {
   std::uint64_t seed = 42;
   std::size_t device_kb = 4096;
   std::uint32_t threads = 8;
+  // Host ThreadPool size (0 = hardware concurrency); stripped from argv by
+  // apps::pool_workers_from_args before parse() runs.
+  std::size_t workers = 0;
   bool csv = false;
   gpusim::FaultConfig faults;  // all rates zero: injection disabled
 };
@@ -86,6 +89,10 @@ void usage() {
                "  metrics-check FILE         validate a metrics JSON file\n"
                "  metrics-diff OLD NEW       compare two metrics files; exits 3 when\n"
                "                             sim_seconds regressed > --max-regress-pct\n"
+               "  bench-check FILE           validate a BENCH_host.json wall-clock file\n"
+               "  bench-diff OLD NEW         compare two BENCH_host.json files; exits 3\n"
+               "                             when wall_seconds regressed beyond\n"
+               "                             --max-regress-pct (default 25)\n"
                "options:\n"
                "  --app A          pvc | ii | dna | netflix | wc | pc | geo\n"
                "  --impl I         gpu | cpu | pinned   (standalone apps)\n"
@@ -95,6 +102,7 @@ void usage() {
                "  --seed S         generator seed (default 42)\n"
                "  --device-kb N    simulated device memory (default 4096)\n"
                "  --threads N      CPU baseline threads (default 8)\n"
+               "  --workers N      host thread-pool size ($SEPO_WORKERS; 0 = cores)\n"
                "  --csv            machine-readable output\n"
                "  --max-regress-pct X   metrics-diff threshold (default 5)\n"
                "fault injection (run/compare; simulated-device impls only):\n"
@@ -294,8 +302,10 @@ int cmd_run(const Options& o, const obs::OutputOptions& out) {
   GpuConfig gcfg;
   gcfg.device_bytes = o.device_kb << 10;
   gcfg.faults = o.faults;
+  gcfg.pool_workers = o.workers;
   CpuConfig ccfg;
   ccfg.num_threads = o.threads;
+  ccfg.pool_workers = o.workers;
 
   const bool gpu_impl = o.impl == "gpu" || o.impl == "pinned" || o.impl == "mapcg";
   std::unique_ptr<obs::TraceRecorder> rec;
@@ -372,18 +382,20 @@ int cmd_compare(const Options& o, const obs::OutputOptions& out) {
     GpuConfig gcfg;
     gcfg.device_bytes = o.device_kb << 10;
     gcfg.faults = o.faults;
+    gcfg.pool_workers = o.workers;
     gcfg.trace = rec.get();
+    const CpuConfig ccfg{.num_threads = o.threads, .pool_workers = o.workers};
     if (rec) rec->begin_section(o.app + "/gpu");
     if (is_mr_app(o.app)) {
       const MrApp& app = *mr_app(o.app);
       const std::string input = app.generate(bytes, o.seed);
       ra = run_mr_sepo(app, input, gcfg);
-      rb = run_mr_phoenix(app, input, {.num_threads = o.threads});
+      rb = run_mr_phoenix(app, input, ccfg);
     } else {
       const auto app = standalone_app(o.app);
       const std::string input = app->generate(bytes, o.seed);
       ra = app->run_gpu(input, gcfg);
-      rb = app->run_cpu(input, {.num_threads = o.threads});
+      rb = app->run_cpu(input, ccfg);
     }
     if (ra.error) {
       std::fprintf(stderr, "gpu run failed (%s): %s\n", ra.error.kind_name(),
@@ -545,21 +557,131 @@ int cmd_metrics_diff(const std::string& old_path, const std::string& new_path,
   return 0;
 }
 
+// --- wall-clock benchmark file commands (BENCH_host.json) ------------------
+
+// Validates the schema written by bench/host_perf (obs::kBenchSchemaVersion).
+std::vector<std::string> check_bench(const obs::Json& m) {
+  std::vector<std::string> problems;
+  if (m["schema_version"].as_i64() != obs::kBenchSchemaVersion)
+    problems.push_back("schema_version missing or not " +
+                       std::to_string(obs::kBenchSchemaVersion));
+  if (!m["tool"].is_string()) problems.push_back("tool missing");
+  if (!m["workers"].is_number()) problems.push_back("workers missing");
+  if (!m["tiny"].is_bool()) problems.push_back("tiny missing");
+  const obs::Json& benches = m["benches"];
+  if (!benches.is_array() || benches.size() == 0) {
+    problems.push_back("benches missing or empty");
+    return problems;
+  }
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    const obs::Json& b = benches.at(i);
+    const std::string where = "benches[" + std::to_string(i) + "]";
+    if (!b["name"].is_string()) problems.push_back(where + ".name missing");
+    if (!b["items"].is_number() || b["items"].as_i64() <= 0)
+      problems.push_back(where + ".items missing or non-positive");
+    if (!b["reps"].is_number() || b["reps"].as_i64() <= 0)
+      problems.push_back(where + ".reps missing or non-positive");
+    if (!b["wall_seconds"].is_number() || b["wall_seconds"].as_double() <= 0)
+      problems.push_back(where + ".wall_seconds missing or non-positive");
+    if (!b["ops_per_sec"].is_number() || b["ops_per_sec"].as_double() <= 0)
+      problems.push_back(where + ".ops_per_sec missing or non-positive");
+  }
+  return problems;
+}
+
+int cmd_bench_check(const std::string& path) {
+  const auto m = load_metrics(path);
+  if (!m) return 2;
+  const auto problems = check_bench(*m);
+  for (const auto& p : problems)
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), p.c_str());
+  if (!problems.empty()) return 2;
+  std::printf("%s: ok (%zu benches, %lld workers, tool %s)\n", path.c_str(),
+              (*m)["benches"].size(),
+              static_cast<long long>((*m)["workers"].as_i64()),
+              (*m)["tool"].as_string().c_str());
+  return 0;
+}
+
+// Wall-clock analogue of cmd_metrics_diff: compares wall_seconds by bench
+// name. Wall clock is host-dependent, so the default threshold is looser
+// than metrics-diff's (these numbers wobble with machine load) — pass
+// --max-regress-pct to tighten or relax.
+int cmd_bench_diff(const std::string& old_path, const std::string& new_path,
+                   double max_regress_pct) {
+  const auto older = load_metrics(old_path);
+  const auto newer = load_metrics(new_path);
+  if (!older || !newer) return 2;
+
+  const std::int64_t old_v = (*older)["schema_version"].as_i64();
+  const std::int64_t new_v = (*newer)["schema_version"].as_i64();
+  if (old_v != new_v) {
+    std::fprintf(stderr,
+                 "schema mismatch: %s is v%lld, %s is v%lld — not comparable\n",
+                 old_path.c_str(), static_cast<long long>(old_v),
+                 new_path.c_str(), static_cast<long long>(new_v));
+    return 2;
+  }
+
+  std::map<std::string, double> base;
+  for (const auto& b : (*older)["benches"].elements())
+    base.emplace(b["name"].as_string(), b["wall_seconds"].as_double());
+
+  TablePrinter table({"bench", "old wall_ms", "new wall_ms", "delta %"});
+  bool regressed = false;
+  std::size_t matched = 0;
+  for (const auto& b : (*newer)["benches"].elements()) {
+    const std::string k = b["name"].as_string();
+    const auto it = base.find(k);
+    if (it == base.end()) {
+      table.add_row({k, "-",
+                     TablePrinter::fmt(b["wall_seconds"].as_double() * 1e3, 3),
+                     "new"});
+      continue;
+    }
+    ++matched;
+    const double o = it->second, n = b["wall_seconds"].as_double();
+    const double pct = o > 0 ? (n - o) / o * 100.0 : 0.0;
+    if (pct > max_regress_pct) regressed = true;
+    table.add_row({k, TablePrinter::fmt(o * 1e3, 3),
+                   TablePrinter::fmt(n * 1e3, 3), TablePrinter::fmt(pct, 2)});
+  }
+  table.print(std::cout);
+  if (matched == 0) {
+    std::fprintf(stderr, "no bench names in common\n");
+    return 2;
+  }
+  if (regressed) {
+    std::fprintf(stderr, "wall_seconds regression beyond %.1f%%\n",
+                 max_regress_pct);
+    return 3;
+  }
+  std::printf("ok: no wall_seconds regression beyond %.1f%%\n",
+              max_regress_pct);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
+  const std::size_t workers = pool_workers_from_args(argc, argv);
 
-  // The metrics file commands take positional paths, not run options.
-  if (argc >= 2 && std::strcmp(argv[1], "metrics-check") == 0) {
+  // The metrics/bench file commands take positional paths, not run options.
+  if (argc >= 2 && (std::strcmp(argv[1], "metrics-check") == 0 ||
+                    std::strcmp(argv[1], "bench-check") == 0)) {
     if (argc != 3) {
       usage();
       return 1;
     }
-    return cmd_metrics_check(argv[2]);
+    return std::strcmp(argv[1], "bench-check") == 0
+               ? cmd_bench_check(argv[2])
+               : cmd_metrics_check(argv[2]);
   }
-  if (argc >= 2 && std::strcmp(argv[1], "metrics-diff") == 0) {
-    double max_regress_pct = 5.0;
+  if (argc >= 2 && (std::strcmp(argv[1], "metrics-diff") == 0 ||
+                    std::strcmp(argv[1], "bench-diff") == 0)) {
+    const bool bench = std::strcmp(argv[1], "bench-diff") == 0;
+    double max_regress_pct = bench ? 25.0 : 5.0;
     std::vector<std::string> paths;
     for (int i = 2; i < argc; ++i) {
       if (std::strcmp(argv[i], "--max-regress-pct") == 0 && i + 1 < argc) {
@@ -574,14 +696,16 @@ int main(int argc, char** argv) {
       usage();
       return 1;
     }
-    return cmd_metrics_diff(paths[0], paths[1], max_regress_pct);
+    return bench ? cmd_bench_diff(paths[0], paths[1], max_regress_pct)
+                 : cmd_metrics_diff(paths[0], paths[1], max_regress_pct);
   }
 
-  const auto opts = parse(argc, argv);
+  auto opts = parse(argc, argv);
   if (!opts) {
     usage();
     return 1;
   }
+  opts->workers = workers;
   if (opts->command == "list") return cmd_list();
   if (opts->command == "run") return cmd_run(*opts, out);
   if (opts->command == "compare") return cmd_compare(*opts, out);

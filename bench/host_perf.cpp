@@ -12,6 +12,12 @@
 //   counter_bump_sharded   the same counter workload through gpusim::launch:
 //                          devirtualized dispatch + per-worker WorkerStats
 //                          shards (the contention-free path)
+//   journal_disabled       sharded counter workload with a nullable
+//                          EventJournal* left null (the branch every journal
+//                          hook costs when no journal is installed)
+//   journal_event_sharded  identical code shape with the journal installed:
+//                          ~1/11 items record a flight-recorder event into
+//                          the worker's ring shard
 //   empty_dispatch         per-item scheduling overhead alone (devirtualized
 //                          launch of a no-op kernel)
 //   fig6_pvc_gpu           an end-to-end Page View Count SEPO-GPU run
@@ -20,9 +26,14 @@
 // is given; `sepo_cli bench-check` validates it, `sepo_cli bench-diff`
 // compares two of them. Each bench takes the best of --reps runs to damp
 // scheduler noise. The atomic/sharded pair double-checks bit-identity: their
-// merged counter totals must match exactly or the binary exits 1.
+// merged counter totals must match exactly or the binary exits 1, and the
+// journal pair repeats the same check (recording events must not perturb the
+// metered counters). The journal pair's relative cost is written as
+// journal_overhead_pct; `sepo_cli bench-check` fails the file when it
+// exceeds 10%.
 //
 //   host_perf [--tiny] [--workers N] [--reps N] [--metrics-out=FILE]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -36,6 +47,7 @@
 #include "apps/standalone_app.hpp"
 #include "common/table_printer.hpp"
 #include "gpusim/counters.hpp"
+#include "gpusim/journal.hpp"
 #include "gpusim/launch.hpp"
 #include "gpusim/thread_pool.hpp"
 #include "obs/json.hpp"
@@ -118,6 +130,25 @@ void run_atomic_path(ThreadPool& pool, RunStats& stats, std::size_t items,
   pool.parallel_for(grid, body);
 }
 
+// The journal-overhead pair runs this exact kernel twice, differing only in
+// whether `j` is null. Both variants pay the splitmix recompute and the
+// branch, so the measured delta is the cost of record() itself (~1/11 items
+// fire, mirroring the allocator's page-acquire rate in fixture_kernel).
+void run_journal_path(ThreadPool& pool, RunStats& stats, EventJournal* j,
+                      std::size_t items, std::size_t grid) {
+  launch(pool, stats, items,
+         [&stats, j](std::size_t i) {
+           fixture_kernel(stats, i);
+           std::uint64_t x = (i + 1) * 0x9E3779B97F4A7C15ull;
+           x ^= x >> 30;
+           x *= 0xBF58476D1CE4E5B9ull;
+           x ^= x >> 27;
+           if (x % 11 == 0 && j != nullptr)
+             j->record(JournalEventKind::kPageAcquire, i, x % 97);
+         },
+         {.grid_threads = grid});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +202,44 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Flight-recorder overhead pair: same kernel shape, journal pointer null
+  // vs installed. Ring overwrite is the steady state (a flight recorder
+  // keeps the newest window), so a modest per-shard capacity measures the
+  // honest hot-path cost. The two sides' reps are interleaved so drifting
+  // machine load biases both equally — this ratio is gated at 10% by
+  // bench-check, it must not wobble with the scheduler.
+  RunStats stats_jd, stats_je;
+  EventJournal journal(pool.worker_count(), /*capacity_per_shard=*/1 << 14);
+  BenchResult jd, je;
+  jd.name = "journal_disabled";
+  je.name = "journal_event_sharded";
+  jd.items = je.items = items;
+  const int pair_reps = std::max(reps, 3);
+  jd.reps = je.reps = static_cast<std::uint64_t>(pair_reps);
+  for (int rep = 0; rep < pair_reps; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    run_journal_path(pool, stats_jd, nullptr, items, grid);
+    const double sd = now_minus(t0);
+    if (rep == 0 || sd < jd.wall_seconds) jd.wall_seconds = sd;
+    t0 = std::chrono::steady_clock::now();
+    run_journal_path(pool, stats_je, &journal, items, grid);
+    const double se = now_minus(t0);
+    if (rep == 0 || se < je.wall_seconds) je.wall_seconds = se;
+  }
+  jd.ops_per_sec = static_cast<double>(items) / jd.wall_seconds;
+  je.ops_per_sec = static_cast<double>(items) / je.wall_seconds;
+  results.push_back(jd);
+  results.push_back(je);
+  if (stats_jd.snapshot() != stats_je.snapshot()) {
+    std::fprintf(stderr,
+                 "FATAL: recording journal events perturbed the metered "
+                 "counters\n");
+    return 1;
+  }
+  const double journal_overhead_pct =
+      (results[3].wall_seconds - results[2].wall_seconds) /
+      results[2].wall_seconds * 100.0;
+
   // Scheduling overhead alone: a kernel the compiler cannot delete but that
   // does no metering or work.
   RunStats stats_empty;
@@ -208,6 +277,11 @@ int main(int argc, char** argv) {
       results[0].wall_seconds / results[1].wall_seconds;
   std::printf("\ncounter-bump speedup (sharded vs atomic hot path): %.2fx\n",
               speedup);
+  std::printf("journal overhead (event recording vs disabled): %.2f%% "
+              "(%llu events recorded, %llu overwritten)\n",
+              journal_overhead_pct,
+              static_cast<unsigned long long>(journal.events_recorded()),
+              static_cast<unsigned long long>(journal.events_overwritten()));
 
   if (out.metrics_enabled()) {
     obs::Json root = obs::Json::object();
@@ -216,6 +290,7 @@ int main(int argc, char** argv) {
     root.set("workers", static_cast<std::uint64_t>(pool.worker_count()));
     root.set("tiny", tiny);
     root.set("counter_bump_speedup", speedup);
+    root.set("journal_overhead_pct", journal_overhead_pct);
     obs::Json benches = obs::Json::array();
     for (const BenchResult& r : results) {
       obs::Json b = obs::Json::object();

@@ -46,8 +46,11 @@ std::uint32_t PagePool::acquire(gpusim::RunStats& stats) noexcept {
     const std::uint64_t want = pack(head_tag(h) + 1, nxt);
     if (head_.compare_exchange_weak(h, want, std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
-      free_count_.fetch_sub(1, std::memory_order_relaxed);
+      const std::uint32_t left =
+          free_count_.fetch_sub(1, std::memory_order_relaxed) - 1;
       stats.add_page_acquires();
+      if (journal_ != nullptr)
+        journal_->record(gpusim::JournalEventKind::kPageAcquire, page, left);
       PageMeta& m = pages_[page];
       const bool was_in_pool = m.in_pool.exchange(false, std::memory_order_relaxed);
       assert(was_in_pool);
@@ -67,6 +70,8 @@ bool PagePool::release(std::uint32_t page, gpusim::RunStats* stats) noexcept {
   // the other is rejected instead of corrupting the free stack.
   if (m.in_pool.exchange(true, std::memory_order_acq_rel)) {
     if (stats != nullptr) stats->add_page_double_releases();
+    if (journal_ != nullptr)
+      journal_->record(gpusim::JournalEventKind::kPageDoubleRelease, page);
     return false;
   }
   m.host_slot.store(0, std::memory_order_relaxed);
@@ -76,7 +81,11 @@ bool PagePool::release(std::uint32_t page, gpusim::RunStats* stats) noexcept {
     const std::uint64_t want = pack(head_tag(h) + 1, page);
     if (head_.compare_exchange_weak(h, want, std::memory_order_acq_rel,
                                     std::memory_order_acquire)) {
-      free_count_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint32_t now_free =
+          free_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (journal_ != nullptr)
+        journal_->record(gpusim::JournalEventKind::kPageRelease, page,
+                         now_free);
       return true;
     }
   }

@@ -12,6 +12,7 @@
 
 #include "gpusim/counters.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/journal.hpp"
 
 namespace sepo::alloc {
 
@@ -59,6 +60,14 @@ class PagePool {
     return free_count_.load(std::memory_order_relaxed);
   }
 
+  // Installs a flight-recorder journal (non-owning; null disables). Must be
+  // wired before the first kernel launches: acquire/release run inside
+  // kernels and read the pointer unsynchronized, relying on job publication
+  // for the happens-before (same as the counter shards).
+  void set_journal(gpusim::EventJournal* journal) noexcept {
+    journal_ = journal;
+  }
+
   // Device base address of `page`.
   [[nodiscard]] DevPtr page_base(std::uint32_t page) const noexcept {
     return heap_base_ + static_cast<DevPtr>(page) * page_size_;
@@ -92,6 +101,7 @@ class PagePool {
   // Head packs {aba_tag:32, page:32} to dodge ABA.
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint32_t> free_count_{0};
+  gpusim::EventJournal* journal_ = nullptr;
 };
 
 }  // namespace sepo::alloc

@@ -17,6 +17,7 @@
 #include "gpusim/counters.hpp"
 #include "gpusim/exec_context.hpp"
 #include "gpusim/fault.hpp"
+#include "gpusim/journal.hpp"
 #include "gpusim/pcie.hpp"
 #include "gpusim/stream.hpp"
 #include "gpusim/trace_hook.hpp"
@@ -50,6 +51,11 @@ struct GpuConfig {
   // Fault injection (gpusim::FaultInjector). All rates zero (the default)
   // keeps the run bit-identical to a build without the injector.
   gpusim::FaultConfig faults;
+  // Flight-recorder journal (gpusim::EventJournal), caller-owned so it can
+  // be drained after a failed run. Null (the default) compiles every hook
+  // site down to one false branch; results and metrics are bit-identical
+  // either way (tests/journal_test.cpp).
+  gpusim::EventJournal* journal = nullptr;
 };
 
 struct CpuConfig {
@@ -129,6 +135,9 @@ struct RunResult {
   RunError error;
   // Per-SEPO-iteration convergence profiles (SEPO paths; empty otherwise).
   core::IterationProfiles iteration_profiles;
+  // Occupancy time-series, one sample per iteration boundary (SEPO paths;
+  // empty otherwise). Serialized as the metrics schema v4 "timeseries".
+  std::vector<gpusim::OccupancySample> timeseries;
   // Final-table bucket occupancy: [n] = buckets with n entries, last bin
   // aggregates longer chains (SEPO paths; empty otherwise).
   std::vector<std::uint64_t> bucket_histogram;

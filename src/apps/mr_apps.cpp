@@ -115,6 +115,7 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
   if (cfg.trace) ctx.set_trace(cfg.trace);
+  if (cfg.journal) ctx.set_journal(cfg.journal);
   std::optional<gpusim::FaultInjector> faults;
   if (cfg.faults.enabled()) {
     faults.emplace(cfg.faults);
@@ -158,6 +159,7 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
                    ? digest_groups(*out.table)
                    : digest_kv(*out.table);
   r.iteration_profiles = out.driver.profiles;
+  r.timeseries = out.driver.timeseries;
   r.bucket_histogram = out.table->occupancy_histogram();
   fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
@@ -202,6 +204,7 @@ RunResult run_mr_mapcg(const MrApp& app, std::string_view input,
   gpusim::ThreadPool pool(cfg.pool_workers);
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
+  if (cfg.journal) ctx.set_journal(cfg.journal);
   std::optional<gpusim::FaultInjector> faults;
   if (cfg.faults.enabled()) {
     faults.emplace(cfg.faults);

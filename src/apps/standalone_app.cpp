@@ -101,6 +101,7 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
   if (cfg.trace) ctx.set_trace(cfg.trace);
+  if (cfg.journal) ctx.set_journal(cfg.journal);
   std::optional<gpusim::FaultInjector> faults;
   if (cfg.faults.enabled()) {
     faults.emplace(cfg.faults);
@@ -167,6 +168,7 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
                    ? digest_groups(table)
                    : digest_kv(table);
   r.iteration_profiles = dres.profiles;
+  r.timeseries = dres.timeseries;
   r.bucket_histogram = table.occupancy_histogram();
   fill_gpu_times(r, ctx, dev.bus());
   r.wall_seconds = timer.seconds();
@@ -226,6 +228,7 @@ RunResult StandaloneApp::run_pinned(std::string_view input,
   gpusim::RunStats stats;
   gpusim::ExecContext ctx(dev, pool, stats);
   if (cfg.trace) ctx.set_trace(cfg.trace);
+  if (cfg.journal) ctx.set_journal(cfg.journal);
   std::optional<gpusim::FaultInjector> faults;
   if (cfg.faults.enabled()) {
     faults.emplace(cfg.faults);

@@ -65,6 +65,19 @@ class InputPipeline {
   [[nodiscard]] const PipelineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] gpusim::ExecContext& ctx() noexcept { return ctx_; }
 
+  // Staging-ring state for the occupancy sampler (gpusim::OccupancySample):
+  // slot count, and how many slots are still owned by a kernel whose
+  // simulated completion lies after `now`.
+  [[nodiscard]] std::uint32_t staging_slot_count() const noexcept {
+    return static_cast<std::uint32_t>(staging_.size());
+  }
+  [[nodiscard]] std::uint32_t staging_busy(double now) const noexcept {
+    std::uint32_t n = 0;
+    for (const gpusim::Event& e : last_use_)
+      if (e.at > now) ++n;
+    return n;
+  }
+
  private:
   gpusim::ExecContext& ctx_;
   PipelineConfig cfg_;

@@ -41,6 +41,7 @@ SepoHashTable::SepoHashTable(gpusim::ExecContext& ctx, HashTableConfig cfg)
     throw std::invalid_argument("device memory too small for one heap page");
   pool_pages_ =
       std::make_unique<alloc::PagePool>(dev_, heap_bytes, cfg_.page_size);
+  pool_pages_->set_journal(ctx_.journal());
   host_heap_ = std::make_unique<alloc::HostHeap>(cfg_.page_size);
 
   const std::uint32_t groups =
@@ -228,6 +229,10 @@ void SepoHashTable::apply_pressure() {
   const std::uint32_t target =
       f->pressure_target(pool_pages_->page_count(), new_spike);
   if (new_spike) stats_.add_pressure_spikes();
+  gpusim::EventJournal* const journal = ctx_.journal();
+  if (new_spike && journal != nullptr)
+    journal->record(gpusim::JournalEventKind::kPressureBegin, target);
+  const std::size_t held_before = pressure_pages_.size();
   // Seize pages straight from the pool (they count as page_acquires — the
   // spike is indistinguishable from another tenant grabbing memory). If the
   // pool runs dry mid-seize the spike simply holds less than it wanted.
@@ -240,6 +245,8 @@ void SepoHashTable::apply_pressure() {
     pool_pages_->release(pressure_pages_.back(), &stats_);
     pressure_pages_.pop_back();
   }
+  if (held_before > 0 && pressure_pages_.empty() && journal != nullptr)
+    journal->record(gpusim::JournalEventKind::kPressureEnd, held_before);
 }
 
 bool SepoHashTable::should_halt(double halt_frac) const noexcept {

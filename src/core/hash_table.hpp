@@ -123,6 +123,11 @@ class SepoHashTable {
   [[nodiscard]] std::uint32_t free_pages() const noexcept {
     return pool_pages_->free_count();
   }
+  // Pages currently seized by an injected memory-pressure spike; 0 without
+  // fault injection. Read by the occupancy sampler (SepoDriver).
+  [[nodiscard]] std::uint32_t pressure_page_count() const noexcept {
+    return static_cast<std::uint32_t>(pressure_pages_.size());
+  }
   [[nodiscard]] gpusim::RunStats& run_stats() noexcept { return stats_; }
   [[nodiscard]] alloc::HostHeap& host_heap() noexcept { return *host_heap_; }
   [[nodiscard]] alloc::BucketGroupAllocator& allocator() noexcept {

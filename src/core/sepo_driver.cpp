@@ -20,6 +20,7 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
     halted = [&ht, frac = cfg_.basic_halt_frac] { return ht.should_halt(frac); };
 
   gpusim::TraceHook* const hook = ht.run_stats().trace_hook();
+  gpusim::EventJournal* const journal = pipe.ctx().journal();
 
   // An injected memory-pressure spike may seize the whole heap for a few
   // iterations; that is degradation (POSTPONE everything), not a dead
@@ -37,6 +38,9 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
       throw std::runtime_error("SEPO driver exceeded max_iterations");
     ++result.iterations;
     if (hook) hook->on_iteration_begin(result.iterations);
+    if (journal)
+      journal->record(gpusim::JournalEventKind::kIterationBegin,
+                      result.iterations);
 
     const std::size_t done_before = progress.done_count();
     const gpusim::StatsSnapshot stats_before = ht.run_stats().snapshot();
@@ -48,7 +52,16 @@ DriverResult SepoDriver::run(SepoHashTable& ht,
     static_cast<bigkernel::StagingTotals&>(result) += pass;
     result.profiles.push_back(
         profile_iteration(ht, result.iterations, stats_before, pass));
-    if (hook) hook->on_iteration_end(result.iterations);
+    result.timeseries.push_back(
+        sample_occupancy(ht, pipe, result.iterations));
+    if (hook) {
+      hook->on_occupancy_sample(result.timeseries.back());
+      hook->on_iteration_end(result.iterations);
+    }
+    if (journal)
+      journal->record(gpusim::JournalEventKind::kIterationEnd,
+                      result.iterations,
+                      result.profiles.back().records_postponed);
 
     if (progress.done_count() == done_before) {
       if (++zero_progress >= zero_progress_limit)
@@ -91,6 +104,26 @@ IterationProfile SepoDriver::profile_iteration(
   p.distinct_entries_total = after.inserts_new;
   p.hottest_bucket_ops = ht.bucket_load().max_bucket_accesses;
   return p;
+}
+
+gpusim::OccupancySample SepoDriver::sample_occupancy(
+    SepoHashTable& ht, bigkernel::InputPipeline& pipe,
+    std::uint32_t iteration) {
+  const gpusim::Timeline& tl = pipe.ctx().timeline();
+  gpusim::OccupancySample s;
+  s.sim_ts = tl.total_end();
+  s.iteration = iteration;
+  s.pages_total = ht.page_pool().page_count();
+  s.pages_free = ht.free_pages();
+  s.pages_seized = ht.pressure_page_count();
+  s.resident_entry_bytes = ht.table_stats().resident_entry_bytes;
+  s.staging_slots = pipe.staging_slot_count();
+  s.staging_busy = pipe.staging_busy(s.sim_ts);
+  for (int r = 0; r < gpusim::kNumTimelineResources; ++r) {
+    s.engine_end[r] = tl.resource_end(static_cast<gpusim::TimelineResource>(r));
+    s.engine_busy[r] = tl.busy(static_cast<gpusim::TimelineResource>(r));
+  }
+  return s;
 }
 
 }  // namespace sepo::core

@@ -17,6 +17,7 @@
 #include "common/strings.hpp"
 #include "core/hash_table.hpp"
 #include "core/iteration_profile.hpp"
+#include "gpusim/journal.hpp"
 
 namespace sepo::core {
 
@@ -36,6 +37,10 @@ struct DriverResult : bigkernel::StagingTotals {
   // One convergence snapshot per iteration (telemetry; always collected —
   // the cost is one counter snapshot and one bucket sweep per iteration).
   IterationProfiles profiles;
+  // One occupancy snapshot per iteration boundary (the flight recorder's
+  // sampler, DESIGN.md §5b). Also always collected: it only reads allocator
+  // and timeline state, so it cannot perturb results.
+  std::vector<gpusim::OccupancySample> timeseries;
 };
 
 class SepoDriver {
@@ -60,6 +65,9 @@ class SepoDriver {
                                             std::uint32_t iteration,
                                             const gpusim::StatsSnapshot& before,
                                             const bigkernel::PassResult& pass);
+  static gpusim::OccupancySample sample_occupancy(
+      SepoHashTable& ht, bigkernel::InputPipeline& pipe,
+      std::uint32_t iteration);
 
   DriverConfig cfg_;
 };

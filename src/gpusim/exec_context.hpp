@@ -32,6 +32,7 @@
 
 namespace sepo::gpusim {
 
+class EventJournal;
 class FaultInjector;
 
 class ExecContext {
@@ -69,6 +70,15 @@ class ExecContext {
   void set_faults(FaultInjector* faults) noexcept { faults_ = faults; }
   [[nodiscard]] FaultInjector* faults() const noexcept { return faults_; }
 
+  // Installs a flight-recorder journal (non-owning; null disables). Sizes
+  // the journal's shards for this pool and republishes the simulated clock
+  // into it after every scheduling step so events recorded from inside
+  // kernels carry the right timestamp. With no journal installed every hook
+  // site is a single branch — journal-on and journal-off runs are
+  // bit-identical (tests/journal_test.cpp).
+  void set_journal(EventJournal* journal);
+  [[nodiscard]] EventJournal* journal() const noexcept { return journal_; }
+
   // Stages `bytes` host->device (metered memcpy, as Device::copy_h2d) and
   // schedules the copy on the h2d engine, not before `after` (typically the
   // event of the kernel that last read the target staging buffer). Returns
@@ -94,7 +104,7 @@ class ExecContext {
   template <typename Kernel>
   Event launch(std::size_t n_items, Kernel&& kernel, LaunchConfig cfg = {},
                Event after = {}) {
-    const LaunchBaseline base = begin_launch(after);
+    const LaunchBaseline base = begin_launch(after, n_items);
     gpusim::launch(pool_, stats_, n_items, std::forward<Kernel>(kernel), cfg);
     return finish_launch(base, n_items);
   }
@@ -123,8 +133,11 @@ class ExecContext {
   // and snapshots the baseline; finish_launch prices the counter delta,
   // schedules the compute command, and drains any remote traffic the kernel
   // generated (with its fault retries).
-  LaunchBaseline begin_launch(Event after);
+  LaunchBaseline begin_launch(Event after, std::size_t n_items);
   Event finish_launch(const LaunchBaseline& base, std::size_t n_items);
+
+  // Publishes the timeline clock into the journal (no-op without one).
+  void publish_sim_now() noexcept;
 
   // Prices the failed attempts (and their backoffs) a transfer suffers
   // before its successful attempt; throws FaultError on retry exhaustion.
@@ -139,6 +152,7 @@ class ExecContext {
   Stream copy_;
   Stream flush_;
   FaultInjector* faults_ = nullptr;
+  EventJournal* journal_ = nullptr;
 };
 
 }  // namespace sepo::gpusim

@@ -24,6 +24,8 @@
 
 namespace sepo::gpusim {
 
+struct OccupancySample;  // gpusim/journal.hpp
+
 // The per-resource simulated engines commands are scheduled onto. Compute
 // and the three bus paths advance independent clocks; dependencies between
 // commands (stream order, events) are what bound their overlap.
@@ -90,6 +92,11 @@ class TraceHook {
 
   // The Timeline scheduled a command (exact priced begin/end, simulated).
   virtual void on_timeline_command(const TimelineCommand& /*cmd*/) {}
+
+  // The SepoDriver took an occupancy snapshot at an iteration boundary
+  // (gpusim/journal.hpp). Fires from the host, serial. Default no-op so
+  // implementations that only care about spans keep compiling.
+  virtual void on_occupancy_sample(const OccupancySample& /*sample*/) {}
 };
 
 }  // namespace sepo::gpusim

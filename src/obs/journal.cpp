@@ -1,0 +1,103 @@
+#include "obs/journal.hpp"
+
+#include <fstream>
+
+namespace sepo::obs {
+
+Json to_json(const gpusim::JournalEvent& e) {
+  Json j = Json::object();
+  j.set("ts", e.sim_ts);
+  j.set("seq", e.seq);
+  j.set("worker", e.worker);
+  j.set("kind", gpusim::journal_kind_name(e.kind));
+  j.set("arg0", e.arg0);
+  j.set("arg1", e.arg1);
+  return j;
+}
+
+std::optional<gpusim::JournalEventKind> journal_kind_from_name(
+    std::string_view name) noexcept {
+  for (int k = 0; k < gpusim::kNumJournalEventKinds; ++k) {
+    const auto kind = static_cast<gpusim::JournalEventKind>(k);
+    if (name == gpusim::journal_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<gpusim::JournalEvent> journal_event_from_json(const Json& j) {
+  if (!j.is_object()) return std::nullopt;
+  const Json* ts = j.find("ts");
+  const Json* kind = j.find("kind");
+  if (ts == nullptr || !ts->is_number() || kind == nullptr ||
+      !kind->is_string())
+    return std::nullopt;
+  const auto k = journal_kind_from_name(kind->as_string());
+  if (!k) return std::nullopt;
+  gpusim::JournalEvent e;
+  e.sim_ts = ts->as_double();
+  e.seq = j["seq"].as_u64();
+  e.worker = static_cast<std::uint32_t>(j["worker"].as_u64());
+  e.kind = *k;
+  e.arg0 = j["arg0"].as_u64();
+  e.arg1 = j["arg1"].as_u64();
+  return e;
+}
+
+bool write_journal_jsonl(const gpusim::EventJournal& journal,
+                         const std::string& path, std::size_t max_events,
+                         std::string* error) {
+  std::vector<gpusim::JournalEvent> events = journal.drain();
+  // Keep the newest window: a flight recorder answers "what happened right
+  // before the failure", so the tail matters, not the head.
+  const std::size_t n = events.size();
+  const std::size_t first = n > max_events ? n - max_events : 0;
+
+  std::ofstream out(path);
+  if (!out) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  for (std::size_t i = first; i < n; ++i) {
+    to_json(events[i]).write(out, 0);
+    out << '\n';
+  }
+  if (!out.good()) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<gpusim::JournalEvent>> read_journal_jsonl(
+    const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::vector<gpusim::JournalEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string perr;
+    const std::optional<Json> j = Json::parse(line, &perr);
+    if (!j) {
+      if (error)
+        *error = path + ":" + std::to_string(line_no) + ": " + perr;
+      return std::nullopt;
+    }
+    const auto e = journal_event_from_json(*j);
+    if (!e) {
+      if (error)
+        *error = path + ":" + std::to_string(line_no) +
+                 ": not a journal event: " + line;
+      return std::nullopt;
+    }
+    events.push_back(*e);
+  }
+  return events;
+}
+
+}  // namespace sepo::obs

@@ -1,0 +1,48 @@
+// Post-mortem serialization of the flight recorder (DESIGN.md §5b).
+//
+// The hot-path ring buffers live in gpusim (gpusim/journal.hpp) because the
+// allocator and the execution context sit below obs in the link graph; this
+// header owns everything that happens *after* a drain: the JSONL dump the
+// CLI writes on RunError, and the parse helpers `sepo_cli report` uses to
+// read one back.
+//
+// Dump format: one JSON object per line ("JSON Lines"), already merge-sorted
+// by (sim_ts, seq, worker):
+//   {"ts": 0.00123, "seq": 7, "worker": 2, "kind": "page_acquire",
+//    "arg0": 41, "arg1": 12}
+// A JSONL journal streams into line-oriented tools (grep, jq -c, tail) even
+// when the run died mid-write, which is the whole point of a black box.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpusim/journal.hpp"
+#include "obs/json.hpp"
+
+namespace sepo::obs {
+
+[[nodiscard]] Json to_json(const gpusim::JournalEvent& e);
+
+// Inverse of gpusim::journal_kind_name; nullopt for unknown names.
+[[nodiscard]] std::optional<gpusim::JournalEventKind> journal_kind_from_name(
+    std::string_view name) noexcept;
+
+// One parsed JSONL line; nullopt when the line is not a well-formed event.
+[[nodiscard]] std::optional<gpusim::JournalEvent> journal_event_from_json(
+    const Json& j);
+
+// Drains `journal` and writes the newest `max_events` events as JSONL.
+// Returns false (and sets *error) on I/O failure.
+bool write_journal_jsonl(const gpusim::EventJournal& journal,
+                         const std::string& path,
+                         std::size_t max_events = 4096,
+                         std::string* error = nullptr);
+
+// Reads a JSONL journal dump back; returns nullopt (and sets *error) when
+// the file cannot be opened or any line fails to parse as an event.
+[[nodiscard]] std::optional<std::vector<gpusim::JournalEvent>>
+read_journal_jsonl(const std::string& path, std::string* error = nullptr);
+
+}  // namespace sepo::obs

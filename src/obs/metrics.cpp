@@ -82,6 +82,29 @@ Json to_json(const core::IterationProfile& p) {
   return j;
 }
 
+Json to_json(const gpusim::OccupancySample& s) {
+  Json j = Json::object();
+  j.set("sim_ts", s.sim_ts);
+  j.set("iteration", s.iteration);
+  j.set("pages_total", s.pages_total);
+  j.set("pages_free", s.pages_free);
+  j.set("pages_seized", s.pages_seized);
+  j.set("resident_entry_bytes", s.resident_entry_bytes);
+  j.set("staging_slots", s.staging_slots);
+  j.set("staging_busy", s.staging_busy);
+  static constexpr const char* kEngineNames[gpusim::kNumTimelineResources] = {
+      "compute", "h2d", "d2h", "remote"};
+  Json engines = Json::object();
+  for (int r = 0; r < gpusim::kNumTimelineResources; ++r) {
+    Json e = Json::object();
+    e.set("end", s.engine_end[r]);
+    e.set("busy", s.engine_busy[r]);
+    engines.set(kEngineNames[r], std::move(e));
+  }
+  j.set("engines", std::move(engines));
+  return j;
+}
+
 namespace {
 
 std::string hex64(std::uint64_t v) {
@@ -120,6 +143,9 @@ Json to_json(const apps::RunResult& r) {
   Json profiles = Json::array();
   for (const auto& p : r.iteration_profiles) profiles.push_back(to_json(p));
   j.set("iteration_profiles", std::move(profiles));
+  Json series = Json::array();
+  for (const auto& s : r.timeseries) series.push_back(to_json(s));
+  j.set("timeseries", std::move(series));
   Json hist = Json::array();
   for (const std::uint64_t n : r.bucket_histogram) hist.push_back(n);
   j.set("bucket_histogram", std::move(hist));
@@ -190,6 +216,7 @@ OutputOptions OutputOptions::from_args(int& argc, char** argv) {
   OutputOptions o;
   if (const char* env = std::getenv("SEPO_METRICS_OUT")) o.metrics_path = env;
   if (const char* env = std::getenv("SEPO_TRACE_OUT")) o.trace_path = env;
+  if (const char* env = std::getenv("SEPO_JOURNAL_OUT")) o.journal_path = env;
 
   auto match = [](const char* arg, const char* flag,
                   std::string* out) -> int {
@@ -211,7 +238,12 @@ OutputOptions OutputOptions::from_args(int& argc, char** argv) {
       dest = &o.metrics_path;
     } else {
       kind = match(argv[i], "--trace-out", &o.trace_path);
-      if (kind) dest = &o.trace_path;
+      if (kind) {
+        dest = &o.trace_path;
+      } else {
+        kind = match(argv[i], "--journal-out", &o.journal_path);
+        if (kind) dest = &o.journal_path;
+      }
     }
     if (kind == 2 && dest) {
       if (i + 1 < argc) {

@@ -7,9 +7,9 @@
 // schema, so benches and the CLI can emit reports that are diffable across
 // PRs (sepo_cli metrics-diff) instead of only human-readable tables.
 //
-// Schema sketch (schema_version 3):
+// Schema sketch (schema_version 4):
 //   {
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "tool": "fig6_speedup",
 //     "runs": [
 //       { "app": "...", "impl": "sepo-gpu", "sim_seconds": ...,
@@ -26,12 +26,25 @@
 //                     "total_faults": N, "total_backoff_s": s },
 //         "error": { "kind": "...", "message": "..." },   // only on failure
 //         "iteration_profiles": [ {...}, ... ],
+//         "timeseries": [ { "sim_ts": s, "iteration": N,
+//                           "pages_total": N, "pages_free": N,
+//                           "pages_seized": N, "resident_entry_bytes": N,
+//                           "staging_slots": N, "staging_busy": N,
+//                           "engines": { "compute": { "end": s, "busy": s },
+//                                        "h2d": {...}, "d2h": {...},
+//                                        "remote": {...} } }, ... ],
 //         "bucket_histogram": [N, ...], ...caller extras... }
 //     ],
 //     "tables": { "<name>": [ {<header>: <cell>, ...}, ... ] }
 //   }
 //
 // Schema history:
+//   v4  flight recorder: adds the "timeseries" array — one occupancy sample
+//       per SEPO iteration boundary (gpusim::OccupancySample: page pool
+//       used/free/seized, staging-ring slot states, per-engine clock/busy),
+//       always collected on SEPO paths, empty on baselines without the
+//       iteration protocol. v3 files stay diffable: metrics-diff compares
+//       the shared fields across {v3, v4} with a warning.
 //   v3  fault injection: adds per-engine fault/retry counters and backoff
 //       seconds (the "faults" object), the optional "error" object for runs
 //       that failed structurally (typed RunError), and the fault counters
@@ -57,7 +70,7 @@
 
 namespace sepo::obs {
 
-inline constexpr int kMetricsSchemaVersion = 3;
+inline constexpr int kMetricsSchemaVersion = 4;
 
 // Schema of BENCH_host.json, the *wall-clock* benchmark file written by
 // bench/host_perf (distinct from the simulated-time metrics schema above):
@@ -73,6 +86,7 @@ inline constexpr int kBenchSchemaVersion = 1;
 [[nodiscard]] Json to_json(const gpusim::TimelineSummary& t);
 [[nodiscard]] Json to_json(const gpusim::FaultSummary& f);
 [[nodiscard]] Json to_json(const core::IterationProfile& p);
+[[nodiscard]] Json to_json(const gpusim::OccupancySample& s);
 [[nodiscard]] Json to_json(const apps::RunResult& r);
 
 // Rows of a TablePrinter as an array of {header: cell} objects — the CSV/
@@ -109,16 +123,21 @@ class MetricsReport {
 // from argv (so existing option parsers never see them):
 //   --metrics-out=FILE | --metrics-out FILE   (else $SEPO_METRICS_OUT)
 //   --trace-out=FILE   | --trace-out FILE     (else $SEPO_TRACE_OUT)
+//   --journal-out=FILE | --journal-out FILE   (else $SEPO_JOURNAL_OUT)
 // An empty path means disabled.
 struct OutputOptions {
   std::string metrics_path;
   std::string trace_path;
+  std::string journal_path;
 
   [[nodiscard]] bool metrics_enabled() const noexcept {
     return !metrics_path.empty();
   }
   [[nodiscard]] bool trace_enabled() const noexcept {
     return !trace_path.empty();
+  }
+  [[nodiscard]] bool journal_enabled() const noexcept {
+    return !journal_path.empty();
   }
 
   static OutputOptions from_args(int& argc, char** argv);

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "gpusim/counters.hpp"
+#include "gpusim/journal.hpp"
 
 namespace sepo::obs {
 
@@ -105,6 +106,13 @@ void TraceRecorder::on_iteration_end(std::uint32_t iteration) {
   iter_start_ = end;
 }
 
+void TraceRecorder::on_occupancy_sample(const gpusim::OccupancySample& s) {
+  std::lock_guard lock(mu_);
+  counters_.push_back({(base_offset_ + s.sim_ts) * kUs,
+                       s.pages_total - s.pages_free - s.pages_seized,
+                       s.pages_free, s.pages_seized, s.staging_busy});
+}
+
 double TraceRecorder::timeline_end_seconds() const {
   std::lock_guard lock(mu_);
   return now_locked();
@@ -162,6 +170,25 @@ Json TraceRecorder::trace_json() const {
     e.set("ph", "X").set("pid", 1).set("tid", s.track).set("name", s.name);
     e.set("ts", s.ts_us).set("dur", s.dur_us).set("args", std::move(args));
     events.push_back(std::move(e));
+  }
+
+  // Occupancy counter tracks ("ph":"C"): Perfetto stacks each args key into
+  // an area chart, so used/free/seized render as the pool's composition.
+  for (const CounterSample& c : counters_) {
+    Json pages = Json::object();
+    pages.set("used", c.pages_used).set("free", c.pages_free);
+    pages.set("seized", c.pages_seized);
+    Json e = Json::object();
+    e.set("ph", "C").set("pid", 1).set("name", "heap pages").set("ts", c.ts_us);
+    e.set("args", std::move(pages));
+    events.push_back(std::move(e));
+
+    Json staging = Json::object();
+    staging.set("busy", c.staging_busy);
+    Json e2 = Json::object();
+    e2.set("ph", "C").set("pid", 1).set("name", "staging in flight");
+    e2.set("ts", c.ts_us).set("args", std::move(staging));
+    events.push_back(std::move(e2));
   }
 
   Json root = Json::object();

@@ -102,14 +102,28 @@ class TraceRecorder final : public gpusim::TraceHook {
   void on_flush(std::uint64_t pages, std::uint64_t bytes) override;
   void on_iteration_begin(std::uint32_t iteration) override;
   void on_iteration_end(std::uint32_t iteration) override;
+  // Occupancy snapshots (SepoDriver sampler): rendered as Chrome counter
+  // tracks ("ph":"C") so pool occupancy and staging pressure show as area
+  // charts alongside the spans.
+  void on_occupancy_sample(const gpusim::OccupancySample& s) override;
 
   // --- output ---
   [[nodiscard]] Json trace_json() const;  // {"traceEvents": [...], ...}
   bool write_file(const std::string& path, std::string* error = nullptr) const;
 
+  struct CounterSample {
+    double ts_us = 0;  // simulated, microseconds, across attached runs
+    std::uint32_t pages_used = 0, pages_free = 0, pages_seized = 0;
+    std::uint32_t staging_busy = 0;
+  };
+
   // Introspection for tests.
   [[nodiscard]] const std::vector<Span>& spans() const noexcept {
     return spans_;
+  }
+  [[nodiscard]] const std::vector<CounterSample>& counter_samples()
+      const noexcept {
+    return counters_;
   }
   // Simulated end of the trace so far, seconds (across attached runs).
   [[nodiscard]] double timeline_end_seconds() const;
@@ -123,6 +137,7 @@ class TraceRecorder final : public gpusim::TraceHook {
 
   mutable std::mutex mu_;
   std::vector<Span> spans_;
+  std::vector<CounterSample> counters_;  // occupancy counter track
   std::vector<std::pair<double, std::string>> instants_;  // section labels
 
   // Concatenation state: each attached run's timeline starts at zero;

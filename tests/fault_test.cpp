@@ -6,6 +6,7 @@
 // typed RunError.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -14,6 +15,8 @@
 #include "apps/standalone_app.hpp"
 #include "gpusim/exec_context.hpp"
 #include "gpusim/fault.hpp"
+#include "gpusim/journal.hpp"
+#include "obs/journal.hpp"
 #include "test_util.hpp"
 
 namespace sepo::gpusim {
@@ -336,6 +339,49 @@ TEST(FaultAppTest, PinnedBaselineSurfacesTypedErrorOnRemoteExhaustion) {
   EXPECT_GT(r.faults.engine[static_cast<int>(TimelineResource::kRemote)]
                 .retries,
             0u);
+}
+
+// Chaos post-mortem: a run killed by retry exhaustion must leave a usable
+// black box behind — the journal dump exists, every line is valid JSONL,
+// events are in simulated-time order, and the tail carries the exhausting
+// retry chain that explains the death.
+TEST(FaultAppTest, PostMortemJournalSurvivesRetryExhaustion) {
+  apps::PageViewCountApp app;
+  const std::string input = app.generate(256u << 10, 46);
+  EventJournal journal;
+  apps::GpuConfig cfg;
+  cfg.faults.h2d_rate = 1.0;  // the very first staging copy exhausts
+  cfg.faults.max_retries = 2;
+  cfg.journal = &journal;
+  const apps::RunResult r = app.run_gpu(input, cfg);
+  ASSERT_TRUE(r.error);
+  EXPECT_EQ(r.error.kind, apps::RunError::Kind::kFaultRetriesExhausted);
+
+  const std::string path = testing::TempDir() + "postmortem.jsonl";
+  std::string err;
+  ASSERT_TRUE(obs::write_journal_jsonl(journal, path, 4096, &err)) << err;
+  // read_journal_jsonl fails on any malformed line, so a successful read is
+  // the valid-JSONL check.
+  const auto events = obs::read_journal_jsonl(path, &err);
+  ASSERT_TRUE(events.has_value()) << err;
+  ASSERT_FALSE(events->empty());
+
+  std::uint64_t retries = 0, exhausted = 0;
+  double prev_ts = 0;
+  for (const JournalEvent& e : *events) {
+    EXPECT_GE(e.sim_ts, prev_ts);
+    prev_ts = e.sim_ts;
+    const auto h2d = static_cast<std::uint64_t>(TimelineResource::kCopyH2d);
+    if (e.kind == JournalEventKind::kFaultRetry && e.arg0 == h2d) ++retries;
+    if (e.kind == JournalEventKind::kFaultExhausted) {
+      ++exhausted;
+      EXPECT_EQ(e.arg0, h2d);
+      EXPECT_EQ(e.arg1, cfg.faults.max_retries);
+    }
+  }
+  EXPECT_GE(retries, cfg.faults.max_retries);
+  EXPECT_EQ(exhausted, 1u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

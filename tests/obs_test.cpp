@@ -228,7 +228,7 @@ TEST_F(TracedRun, TraceJsonIsChromeLoadable) {
   ASSERT_TRUE(parsed.has_value()) << err;
   const Json& events = (*parsed)["traceEvents"];
   ASSERT_TRUE(events.is_array());
-  std::size_t spans = 0, metadata = 0;
+  std::size_t spans = 0, metadata = 0, counters = 0;
   for (const Json& e : events.elements()) {
     const std::string& ph = e["ph"].as_string();
     if (ph == "M") {
@@ -236,6 +236,12 @@ TEST_F(TracedRun, TraceJsonIsChromeLoadable) {
       continue;
     }
     if (ph == "i") continue;  // section labels
+    if (ph == "C") {          // occupancy counter tracks (PR 7 sampler)
+      ++counters;
+      EXPECT_TRUE(e["ts"].is_number());
+      EXPECT_TRUE(e["args"].is_object());
+      continue;
+    }
     ASSERT_EQ(ph, "X");
     ++spans;
     EXPECT_TRUE(e["ts"].is_number());
@@ -245,6 +251,10 @@ TEST_F(TracedRun, TraceJsonIsChromeLoadable) {
   }
   EXPECT_EQ(spans, rec().spans().size());
   EXPECT_GE(metadata, 2u);  // process_name + at least one thread_name
+  // Each occupancy sample renders as two counter events (heap pages +
+  // staging in flight).
+  EXPECT_EQ(counters, rec().counter_samples().size() * 2);
+  EXPECT_GT(counters, 0u);
 }
 
 TEST_F(TracedRun, H2dStagingOverlapsComputeInTrace) {

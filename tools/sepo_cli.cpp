@@ -12,13 +12,17 @@
 //   sepo_cli metrics-check BENCH_fig6.json        # schema validation
 //   sepo_cli metrics-diff old.json new.json --max-regress-pct 5
 //   sepo_cli run --app pvc --impl gpu --fault-seed 7 --fault-h2d-rate 0.01
+//   sepo_cli run --app pvc --impl gpu --fault-h2d-rate 0.5
+//       --journal-out crash.jsonl                 # flight-recorder dump
+//   sepo_cli report m.json --journal crash.jsonl  # post-mortem run report
 //
 // Exit status: 0 on success, 1 on usage error, 2 on run failure (e.g. MapCG
 // out of device memory, fault-retry exhaustion) or invalid/unreadable/
 // incomparable metrics files (metrics-diff exits 2 when the two files'
-// schema versions differ — "incomparable", distinct from "regression");
-// metrics-diff additionally exits 3 when sim_seconds regressed beyond the
-// threshold.
+// schema versions differ beyond the adjacent v3/v4 pair, which stays
+// comparable on shared fields with a warning); metrics-diff additionally
+// exits 3 when sim_seconds regressed beyond the threshold.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +42,8 @@
 #include "common/parse.hpp"
 #include "common/table_printer.hpp"
 #include "gpusim/fault.hpp"
+#include "gpusim/journal.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -89,6 +95,10 @@ void usage() {
                "  metrics-check FILE         validate a metrics JSON file\n"
                "  metrics-diff OLD NEW       compare two metrics files; exits 3 when\n"
                "                             sim_seconds regressed > --max-regress-pct\n"
+               "  report FILE                render a run report from a metrics file\n"
+               "                             (schema v3 or v4): per-iteration table,\n"
+               "                             occupancy high-water marks, fault summary\n"
+               "                             [--journal J.jsonl] [--last N]\n"
                "  bench-check FILE           validate a BENCH_host.json wall-clock file\n"
                "  bench-diff OLD NEW         compare two BENCH_host.json files; exits 3\n"
                "                             when wall_seconds regressed beyond\n"
@@ -118,7 +128,11 @@ void usage() {
                "telemetry (run/compare; also via environment):\n"
                "  --metrics-out FILE    write metrics JSON ($SEPO_METRICS_OUT)\n"
                "  --trace-out FILE      write Chrome trace JSON, GPU impls only\n"
-               "                        ($SEPO_TRACE_OUT)\n");
+               "                        ($SEPO_TRACE_OUT)\n"
+               "  --journal-out FILE    write the flight-recorder event journal as\n"
+               "                        JSONL after the run — including failed runs\n"
+               "                        (post-mortem); GPU impls only\n"
+               "                        ($SEPO_JOURNAL_OUT)\n");
 }
 
 bool is_mr_app(const std::string& app) {
@@ -280,6 +294,29 @@ bool write_outputs(const obs::OutputOptions& out, const obs::MetricsReport& repo
   return true;
 }
 
+// Dumps the flight-recorder journal when --journal-out was given. Called on
+// the success, RunError, and exception paths alike: the journal is most
+// valuable precisely when the run died. `journal` is null for impls without
+// a simulated device (nothing was recorded).
+bool write_journal(const obs::OutputOptions& out,
+                   const gpusim::EventJournal* journal) {
+  if (!out.journal_enabled()) return true;
+  if (!journal) {
+    std::fprintf(stderr,
+                 "journal: no simulated-device activity recorded "
+                 "(--journal-out applies to gpu/pinned/mapcg impls)\n");
+    return true;
+  }
+  std::string err;
+  if (!obs::write_journal_jsonl(*journal, out.journal_path,
+                                /*max_events=*/4096, &err)) {
+    std::fprintf(stderr, "journal: %s\n", err.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "journal written to %s\n", out.journal_path.c_str());
+  return true;
+}
+
 obs::Json run_extra(const Options& o, std::size_t bytes) {
   obs::Json extra = obs::Json::object();
   extra.set("dataset", o.dataset);
@@ -312,6 +349,14 @@ int cmd_run(const Options& o, const obs::OutputOptions& out) {
   if (out.trace_enabled() && gpu_impl) {
     rec = std::make_unique<obs::TraceRecorder>();
     gcfg.trace = rec.get();
+  }
+  // The journal outlives the try block so a thrown run still gets its
+  // post-mortem dump (the run harness joins its workers before unwinding,
+  // so the drain below sees quiescent shards).
+  std::unique_ptr<gpusim::EventJournal> journal;
+  if (out.journal_enabled() && gpu_impl) {
+    journal = std::make_unique<gpusim::EventJournal>();
+    gcfg.journal = journal.get();
   }
 
   try {
@@ -353,16 +398,21 @@ int cmd_run(const Options& o, const obs::OutputOptions& out) {
     report.add_run(o.app, r, run_extra(o, bytes));
     if (r.error) {
       // The run failed structurally (typed RunError on the result) — still
-      // write the telemetry so the failure is diffable, then exit 2.
+      // write the telemetry so the failure is diffable, then exit 2. The
+      // journal dump is the flight recorder's whole purpose here: the last
+      // events before the failure, in simulated-time order.
       std::fprintf(stderr, "run failed (%s): %s\n", r.error.kind_name(),
                    r.error.message.c_str());
       write_outputs(out, report, rec.get());
+      write_journal(out, journal.get());
       return 2;
     }
     print_result(o, r);
     if (!write_outputs(out, report, rec.get())) return 2;
+    if (!write_journal(out, journal.get())) return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run failed: %s\n", e.what());
+    write_journal(out, journal.get());
     return 2;
   }
   return 0;
@@ -484,6 +534,11 @@ std::vector<std::string> check_metrics(const obs::Json& m) {
         problems.push_back(where + "." + k + " missing");
     if (!r["iteration_profiles"].is_array())
       problems.push_back(where + ".iteration_profiles missing");
+    // v4: the occupancy time-series. Always an array — empty on baselines
+    // without the SEPO iteration protocol, one sample per iteration on SEPO
+    // paths.
+    if (!r["timeseries"].is_array())
+      problems.push_back(where + ".timeseries missing");
   }
   return problems;
 }
@@ -507,15 +562,25 @@ int cmd_metrics_diff(const std::string& old_path, const std::string& new_path,
   if (!older || !newer) return 2;
 
   // Files written under different schemas are incomparable (exit 2), which
-  // is distinct from "comparable but regressed" (exit 3).
+  // is distinct from "comparable but regressed" (exit 3). Exception: v3 and
+  // v4 differ only by the additive "timeseries" array, so a v3 baseline
+  // stays diffable against a v4 file — compare the shared fields and warn.
   const std::int64_t old_v = (*older)["schema_version"].as_i64();
   const std::int64_t new_v = (*newer)["schema_version"].as_i64();
   if (old_v != new_v) {
+    const auto adjacent = [](std::int64_t v) { return v == 3 || v == 4; };
+    if (!adjacent(old_v) || !adjacent(new_v)) {
+      std::fprintf(stderr,
+                   "schema mismatch: %s is v%lld, %s is v%lld — not comparable\n",
+                   old_path.c_str(), static_cast<long long>(old_v),
+                   new_path.c_str(), static_cast<long long>(new_v));
+      return 2;
+    }
     std::fprintf(stderr,
-                 "schema mismatch: %s is v%lld, %s is v%lld — not comparable\n",
-                 old_path.c_str(), static_cast<long long>(old_v),
-                 new_path.c_str(), static_cast<long long>(new_v));
-    return 2;
+                 "warning: schema v%lld vs v%lld — comparing shared fields "
+                 "(v4 only adds the \"timeseries\" array)\n",
+                 static_cast<long long>(old_v),
+                 static_cast<long long>(new_v));
   }
 
   // Baseline sim_seconds by (app, impl); first occurrence wins.
@@ -585,6 +650,20 @@ std::vector<std::string> check_bench(const obs::Json& m) {
       problems.push_back(where + ".wall_seconds missing or non-positive");
     if (!b["ops_per_sec"].is_number() || b["ops_per_sec"].as_double() <= 0)
       problems.push_back(where + ".ops_per_sec missing or non-positive");
+  }
+  // Flight-recorder overhead gate: host_perf measures the journal_disabled /
+  // journal_event_sharded pair and writes the relative cost. The field is
+  // optional (older files predate it), but when present it must stay under
+  // 10% — the journal is a hot-path instrument, not a tax.
+  const obs::Json* overhead = m.find("journal_overhead_pct");
+  if (overhead != nullptr) {
+    if (!overhead->is_number())
+      problems.push_back("journal_overhead_pct not a number");
+    else if (overhead->as_double() > 10.0)
+      problems.push_back(
+          "journal_overhead_pct " +
+          TablePrinter::fmt(overhead->as_double(), 2) +
+          " exceeds the 10% event-journal overhead budget");
   }
   return problems;
 }
@@ -661,6 +740,183 @@ int cmd_bench_diff(const std::string& old_path, const std::string& new_path,
   return 0;
 }
 
+// --- run report ------------------------------------------------------------
+
+// Renders the per-iteration SEPO profile of one run as an aligned table.
+void report_iterations(const obs::Json& r) {
+  const obs::Json& profiles = r["iteration_profiles"];
+  if (!profiles.is_array() || profiles.size() == 0) {
+    std::printf("  iterations     : none recorded (run died before the first "
+                "boundary, or baseline without the SEPO protocol)\n");
+    return;
+  }
+  TablePrinter table({"iter", "processed", "postponed", "postpone %",
+                      "page acq", "launches", "free after", "halted"});
+  for (const auto& p : profiles.elements()) {
+    table.add_row({TablePrinter::fmt_int(p["iteration"].as_i64()),
+                   TablePrinter::fmt_int(p["records_processed"].as_i64()),
+                   TablePrinter::fmt_int(p["records_postponed"].as_i64()),
+                   TablePrinter::fmt(p["postpone_rate"].as_double() * 100.0, 1),
+                   TablePrinter::fmt_int(p["page_acquires"].as_i64()),
+                   TablePrinter::fmt_int(p["kernel_launches"].as_i64()),
+                   TablePrinter::fmt_int(p["free_pages_after"].as_i64()),
+                   p["halted"].as_bool() ? "yes" : "no"});
+  }
+  table.print(std::cout);
+}
+
+// Occupancy high-water marks from the v4 time-series (skipped on v3 files
+// and on runs without samples).
+void report_occupancy(const obs::Json& r) {
+  const obs::Json& series = r["timeseries"];
+  if (!series.is_array() || series.size() == 0) return;
+  std::uint64_t pages_total = 0, used_max = 0, used_iter = 0;
+  std::uint64_t seized_max = 0, staging_max = 0, staging_slots = 0;
+  for (const auto& s : series.elements()) {
+    pages_total = s["pages_total"].as_u64();
+    staging_slots = s["staging_slots"].as_u64();
+    const std::uint64_t used = pages_total - s["pages_free"].as_u64() -
+                               s["pages_seized"].as_u64();
+    if (used >= used_max) {
+      used_max = used;
+      used_iter = s["iteration"].as_u64();
+    }
+    seized_max = std::max(seized_max, s["pages_seized"].as_u64());
+    staging_max = std::max(staging_max, s["staging_busy"].as_u64());
+  }
+  std::printf("  occupancy      : high-water %llu/%llu heap pages used "
+              "(iteration %llu), %llu seized by pressure at peak, staging "
+              "%llu/%llu slots busy\n",
+              static_cast<unsigned long long>(used_max),
+              static_cast<unsigned long long>(pages_total),
+              static_cast<unsigned long long>(used_iter),
+              static_cast<unsigned long long>(seized_max),
+              static_cast<unsigned long long>(staging_max),
+              static_cast<unsigned long long>(staging_slots));
+}
+
+// One line, naming every engine — greppable and CI-matchable.
+void report_faults(const obs::Json& r) {
+  const obs::Json& f = r["faults"];
+  if (!f.is_object()) return;
+  std::uint64_t retries = 0;
+  for (const char* eng : {"compute", "h2d", "d2h", "remote"})
+    retries += f[eng]["retries"].as_u64();
+  std::printf("  fault summary  : compute=%llu h2d=%llu d2h=%llu remote=%llu "
+              "faults (%llu total, %llu retries, %.3f ms backoff)\n",
+              static_cast<unsigned long long>(f["compute"]["faults"].as_u64()),
+              static_cast<unsigned long long>(f["h2d"]["faults"].as_u64()),
+              static_cast<unsigned long long>(f["d2h"]["faults"].as_u64()),
+              static_cast<unsigned long long>(f["remote"]["faults"].as_u64()),
+              static_cast<unsigned long long>(f["total_faults"].as_u64()),
+              static_cast<unsigned long long>(retries),
+              f["total_backoff_s"].as_double() * 1e3);
+}
+
+// Top-5 hottest buckets of the final table, from the occupancy histogram
+// ([n] = buckets holding n entries; the last bin aggregates longer chains).
+void report_hot_buckets(const obs::Json& r) {
+  const obs::Json& hist = r["bucket_histogram"];
+  if (!hist.is_array() || hist.size() == 0) return;
+  std::string line;
+  int shown = 0;
+  for (std::size_t i = hist.size(); i-- > 0 && shown < 5;) {
+    const std::uint64_t count = hist.at(i).as_u64();
+    if (count == 0 || i == 0) continue;
+    if (!line.empty()) line += ", ";
+    line += std::to_string(count) + " bucket(s) with " + std::to_string(i) +
+            (i + 1 == hist.size() ? "+ entries" : " entries");
+    ++shown;
+  }
+  if (!line.empty())
+    std::printf("  hottest buckets: %s\n", line.c_str());
+}
+
+// Renders a human-readable post-mortem from a metrics file (schema v3 or
+// v4; v3 predates the occupancy time-series, so that section is absent)
+// plus, optionally, a JSONL journal dump written via --journal-out.
+int cmd_report(const std::string& metrics_path,
+               const std::string& journal_path, std::size_t last_n) {
+  const auto m = load_metrics(metrics_path);
+  if (!m) return 2;
+  const std::int64_t v = (*m)["schema_version"].as_i64();
+  if (v != obs::kMetricsSchemaVersion && v != 3) {
+    std::fprintf(stderr, "%s: schema v%lld not supported (want v3 or v%d)\n",
+                 metrics_path.c_str(), static_cast<long long>(v),
+                 obs::kMetricsSchemaVersion);
+    return 2;
+  }
+  const obs::Json& runs = (*m)["runs"];
+  if (!runs.is_array() || runs.size() == 0) {
+    std::fprintf(stderr, "%s: no runs\n", metrics_path.c_str());
+    return 2;
+  }
+  std::printf("report: %s (schema v%lld, tool %s, %zu run(s))\n",
+              metrics_path.c_str(), static_cast<long long>(v),
+              (*m)["tool"].as_string().c_str(), runs.size());
+  if (v == 3)
+    std::printf("note: v3 file — no occupancy time-series (added in v4)\n");
+
+  for (const auto& r : runs.elements()) {
+    const obs::Json* err = r.find("error");
+    std::printf("\n== %s / %s: %s ==\n", r["app"].as_string().c_str(),
+                r["impl"].as_string().c_str(),
+                err != nullptr ? "FAILED" : "ok");
+    if (err != nullptr)
+      std::printf("  error          : %s: %s\n",
+                  (*err)["kind"].as_string().c_str(),
+                  (*err)["message"].as_string().c_str());
+    std::printf("  simulated time : %.3f ms in %llu iteration(s), checksum "
+                "%s\n",
+                r["sim_seconds"].as_double() * 1e3,
+                static_cast<unsigned long long>(r["iterations"].as_u64()),
+                r["checksum_hex"].as_string().c_str());
+    report_iterations(r);
+    report_occupancy(r);
+    report_faults(r);
+    report_hot_buckets(r);
+  }
+
+  if (!journal_path.empty()) {
+    std::string err;
+    const auto events = obs::read_journal_jsonl(journal_path, &err);
+    if (!events) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    std::printf("\n== journal: %s (%zu event(s)) ==\n", journal_path.c_str(),
+                events->size());
+    std::uint64_t counts[gpusim::kNumJournalEventKinds] = {};
+    for (const auto& e : *events) counts[static_cast<int>(e.kind)]++;
+    std::string kinds;
+    for (int k = 0; k < gpusim::kNumJournalEventKinds; ++k) {
+      if (counts[k] == 0) continue;
+      if (!kinds.empty()) kinds += ", ";
+      kinds += std::string(gpusim::journal_kind_name(
+                   static_cast<gpusim::JournalEventKind>(k))) +
+               "=" + std::to_string(counts[k]);
+    }
+    std::printf("  by kind: %s\n", kinds.empty() ? "(empty)" : kinds.c_str());
+    if (!events->empty() && last_n > 0) {
+      std::printf("  last %zu event(s):\n",
+                  std::min(last_n, events->size()));
+      TablePrinter table({"ts (ms)", "worker", "kind", "arg0", "arg1"});
+      const std::size_t first =
+          events->size() > last_n ? events->size() - last_n : 0;
+      for (std::size_t i = first; i < events->size(); ++i) {
+        const gpusim::JournalEvent& e = (*events)[i];
+        table.add_row({TablePrinter::fmt(e.sim_ts * 1e3, 6),
+                       TablePrinter::fmt_int(e.worker),
+                       gpusim::journal_kind_name(e.kind),
+                       TablePrinter::fmt_int(static_cast<long long>(e.arg0)),
+                       TablePrinter::fmt_int(static_cast<long long>(e.arg1))});
+      }
+      table.print(std::cout);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -677,6 +933,25 @@ int main(int argc, char** argv) {
     return std::strcmp(argv[1], "bench-check") == 0
                ? cmd_bench_check(argv[2])
                : cmd_metrics_check(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "report") == 0) {
+    std::string journal_path;
+    std::size_t last_n = 10;
+    std::vector<std::string> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+        journal_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--last") == 0 && i + 1 < argc) {
+        if (!parse_flag<std::size_t>("--last", argv[++i], last_n)) return 1;
+      } else {
+        paths.emplace_back(argv[i]);
+      }
+    }
+    if (paths.size() != 1) {
+      usage();
+      return 1;
+    }
+    return cmd_report(paths[0], journal_path, last_n);
   }
   if (argc >= 2 && (std::strcmp(argv[1], "metrics-diff") == 0 ||
                     std::strcmp(argv[1], "bench-diff") == 0)) {

@@ -15,75 +15,14 @@
 //     workloads the paper targets.
 #include <cstdio>
 #include <iostream>
-#include <new>
 #include <string>
 
 #include "apps/datagen.hpp"
-#include "apps/standalone_app.hpp"
-#include "baselines/stadium_hash_table.hpp"
-#include "common/strings.hpp"
+#include "apps/engine.hpp"
 #include "common/table_printer.hpp"
-#include "common/timer.hpp"
-#include "mapreduce/spec.hpp"
 
 using namespace sepo;
 using namespace sepo::apps;
-
-namespace {
-
-class StadiumEmitter final : public mapreduce::Emitter {
- public:
-  explicit StadiumEmitter(baselines::StadiumHashTable& t) noexcept : t_(t) {}
-  core::Status emit(std::string_view key,
-                    std::span<const std::byte> value) override {
-    t_.insert(key, value);
-    return core::Status::kSuccess;
-  }
-
- private:
-  baselines::StadiumHashTable& t_;
-};
-
-RunResult run_stadium(const StandaloneApp& app, std::string_view input) {
-  WallTimer timer;
-  gpusim::Device dev(8u << 20);  // the index needs headroom: 8 MiB device
-  gpusim::RunStats stats;
-  gpusim::ThreadPool pool(1);
-  gpusim::ExecContext ctx(dev, pool, stats);
-  baselines::StadiumHashTable table(ctx, {.num_buckets = 1u << 14});
-  StadiumEmitter em(table);
-  const RecordIndex idx = index_lines(input);
-  RunResult r;
-  r.impl = "stadium";
-  // Input still streams through staged chunks; meter it as one bulk pass.
-  dev.bus().h2d(input.size());
-  try {
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const std::string_view body = idx.record(input.data(), i);
-      stats.add_work_units(body.size());
-      app.map_record(body, em);
-      stats.add_records_processed();
-    }
-  } catch (const std::bad_alloc& e) {
-    // The fingerprint index outgrew the device: Stadium has no SEPO, so the
-    // run fails structurally rather than returning a partial table.
-    r.error = run_error_from(e);
-  }
-  const auto load = table.bucket_load();
-  r.stats = stats.snapshot();
-  r.pcie = dev.bus().snapshot();
-  r.serial = {.total_lock_ops = load.total_accesses,
-              .max_same_lock_ops = load.max_bucket_accesses,
-              .serial_atomic_ops = 0};
-  r.iterations = 1;
-  if (!r.error) r.keys = table.entry_count();
-  r.sim_seconds =
-      gpu_sim_seconds(r.stats, dev.bus(), r.pcie, r.serial, &r.gpu_breakdown);
-  r.wall_seconds = timer.seconds();
-  return r;
-}
-
-}  // namespace
 
 int main() {
   std::printf("== Extension: Stadium-hashing-style baseline (paper §VII "
@@ -91,7 +30,10 @@ int main() {
 
   TablePrinter table({"workload", "impl", "sim time (ms)", "remote txns",
                       "stored pairs", "speedup vs cpu"});
-  PageViewCountApp pvc;
+  const AppInfo& pvc = *find_app("pvc");
+  // The stadium engine's fingerprint index needs headroom: 8 MiB device.
+  EngineConfig stadium_cfg;
+  stadium_cfg.gpu.device_bytes = 8u << 20;
   struct Workload {
     const char* name;
     std::string input;
@@ -106,15 +48,18 @@ int main() {
   };
 
   for (const Workload& w : workloads) {
-    const RunResult cpu = pvc.run_cpu(w.input);
-    const RunResult sepo = pvc.run_gpu(w.input);
-    const RunResult pinned = pvc.run_pinned(w.input);
-    const RunResult stadium = run_stadium(pvc, w.input);
+    const RunResult cpu = find_engine("cpu")->run(pvc, w.input, {});
+    const RunResult sepo = find_engine("sepo-gpu")->run(pvc, w.input, {});
+    const RunResult pinned = find_engine("pinned")->run(pvc, w.input, {});
+    const RunResult stadium =
+        find_engine("stadium")->run(pvc, w.input, stadium_cfg);
     for (const RunResult* r : {&sepo, &stadium, &pinned, &cpu}) {
+      // stats.inserts_new counts materialized entries: every duplicate pair
+      // on stadium, distinct keys on the combining tables.
       table.add_row(
           {w.name, r->impl, TablePrinter::fmt(r->sim_seconds * 1e3, 3),
            TablePrinter::fmt_int(static_cast<long long>(r->pcie.remote_txns)),
-           TablePrinter::fmt_int(static_cast<long long>(r->keys)),
+           TablePrinter::fmt_int(static_cast<long long>(r->stats.inserts_new)),
            TablePrinter::fmt(cpu.sim_seconds / r->sim_seconds, 2)});
     }
   }

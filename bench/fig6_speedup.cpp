@@ -25,8 +25,7 @@
 #include <vector>
 
 #include "apps/datagen.hpp"
-#include "apps/mr_apps.hpp"
-#include "apps/standalone_app.hpp"
+#include "apps/engine.hpp"
 #include "common/table_printer.hpp"
 #include "gpusim/fault.hpp"
 #include "obs/metrics.hpp"
@@ -44,33 +43,27 @@ struct Row {
   RunResult gpu, cpu;
 };
 
-Row run_standalone(const StandaloneApp& app, int dataset,
-                   const gpusim::FaultConfig& faults, std::size_t workers,
-                   obs::TraceRecorder* rec) {
+// One Figure-6 bar: the SEPO engine for the app's kind vs its reference
+// baseline, resolved through the registry. Seeds stay per-kind (1000+d
+// standalone, 2000+d MapReduce) to keep the generated inputs — and thus the
+// committed BENCH_fig6.json — identical to the pre-registry harness.
+Row run_one(const AppInfo& app, int dataset, const gpusim::FaultConfig& faults,
+            std::size_t workers, obs::TraceRecorder* rec) {
   const std::size_t bytes = table1_bytes(app.table1_key(), dataset);
-  const std::string input = app.generate(bytes, 1000 + dataset);
-  if (rec) rec->begin_section(std::string(app.name()) + " #" +
+  const std::uint64_t seed = (app.is_mapreduce() ? 2000 : 1000) + dataset;
+  const std::string input = app.generate(bytes, seed);
+  if (rec) rec->begin_section(std::string(app.title) + " #" +
                               std::to_string(dataset));
-  GpuConfig gcfg;
-  gcfg.faults = faults;
-  gcfg.trace = rec;
-  gcfg.pool_workers = workers;
-  return {app.name(), dataset, input.size(), app.run_gpu(input, gcfg),
-          app.run_cpu(input, {.pool_workers = workers})};
-}
-
-Row run_mr(const MrApp& app, int dataset, const gpusim::FaultConfig& faults,
-           std::size_t workers, obs::TraceRecorder* rec) {
-  const std::size_t bytes = table1_bytes(app.table1_key, dataset);
-  const std::string input = app.generate(bytes, 2000 + dataset);
-  if (rec) rec->begin_section(std::string(app.name) + " #" +
-                              std::to_string(dataset));
-  GpuConfig gcfg;
-  gcfg.faults = faults;
-  gcfg.trace = rec;
-  gcfg.pool_workers = workers;
-  return {app.name, dataset, input.size(), run_mr_sepo(app, input, gcfg),
-          run_mr_phoenix(app, input, {.pool_workers = workers})};
+  EngineConfig cfg;
+  cfg.gpu.faults = faults;
+  cfg.gpu.trace = rec;
+  cfg.gpu.pool_workers = workers;
+  cfg.cpu.pool_workers = workers;
+  EngineConfig bcfg = cfg;
+  bcfg.gpu.trace = nullptr;
+  return {app.title, dataset, input.size(),
+          resolve_engine("gpu", app)->run(app, input, cfg),
+          baseline_engine(app)->run(app, input, bcfg)};
 }
 
 }  // namespace
@@ -115,20 +108,10 @@ int main(int argc, char** argv) {
   if (out.trace_enabled()) rec = std::make_unique<obs::TraceRecorder>();
 
   std::vector<Row> rows;
-  {
-    PageViewCountApp pvc;
-    InvertedIndexApp ii;
-    DnaAssemblyApp dna;
-    NetflixApp netflix;
-    const StandaloneApp* standalone[] = {&netflix, &dna, &pvc, &ii};
-    for (const StandaloneApp* app : standalone)
-      for (int d = 1; d <= max_dataset; ++d)
-        rows.push_back(run_standalone(*app, d, faults, workers, rec.get()));
-  }
-  for (const MrApp* app :
-       {&word_count_app(), &patent_citation_app(), &geo_location_app()})
+  // The figure's bar order, not the registry's display order.
+  for (const char* key : {"netflix", "dna", "pvc", "ii", "wc", "pc", "geo"})
     for (int d = 1; d <= max_dataset; ++d)
-      rows.push_back(run_mr(*app, d, faults, workers, rec.get()));
+      rows.push_back(run_one(*find_app(key), d, faults, workers, rec.get()));
 
   TablePrinter table({"app", "dataset", "input", "iterations", "table/heap",
                       "gpu sim (ms)", "cpu sim (ms)", "speedup", "results"});

@@ -12,11 +12,8 @@
 #include <string>
 
 #include "apps/datagen.hpp"
-#include "apps/mr_apps.hpp"
-#include "apps/standalone_app.hpp"
-#include "baselines/pinned_hash_table.hpp"
+#include "apps/engine.hpp"
 #include "common/table_printer.hpp"
-#include "mapreduce/sepo_emitter.hpp"
 
 using namespace sepo;
 using namespace sepo::apps;
@@ -60,14 +57,14 @@ int main() {
   std::printf("== Figure 7: SEPO vs pinned-in-CPU-memory hash table "
               "(dataset #4; speedups relative to the CPU baseline) ==\n\n");
 
-  PageViewCountApp pvc;
-  InvertedIndexApp ii;
-  DnaAssemblyApp dna;
-  NetflixApp netflix;
   MrAsStandalone wc(word_count_app());
   MrAsStandalone pc(patent_citation_app());
   MrAsStandalone geo(geo_location_app());
-  const StandaloneApp* apps[] = {&netflix, &dna, &pvc, &ii, &wc, &pc, &geo};
+  const StandaloneApp* apps[] = {find_app("netflix")->standalone,
+                                 find_app("dna")->standalone,
+                                 find_app("pvc")->standalone,
+                                 find_app("ii")->standalone,
+                                 &wc, &pc, &geo};
 
   TablePrinter table({"app", "sepo speedup", "pinned speedup",
                       "pinned remote txns", "pinned remote bytes", "results"});

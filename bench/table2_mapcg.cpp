@@ -9,8 +9,7 @@
 #include <string>
 
 #include "apps/datagen.hpp"
-#include "apps/mr_apps.hpp"
-#include "baselines/mapcg.hpp"
+#include "apps/engine.hpp"
 #include "common/table_printer.hpp"
 
 using namespace sepo;
@@ -23,13 +22,15 @@ int main() {
 
   TablePrinter table({"application", "ours (ms)", "MapCG (ms)", "speedup",
                       "MapCG serial atomics", "results"});
-  for (const MrApp* app :
-       {&word_count_app(), &patent_citation_app(), &geo_location_app()}) {
+  const Engine& sepo = *find_engine("sepo-mr");
+  const Engine& mapcg_eng = *find_engine("mapcg");
+  for (const AppInfo* app : all_apps()) {
+    if (!app->is_mapreduce()) continue;
     const std::string input =
         app->generate(static_cast<std::size_t>(0.55 * 1024 * 1024), 77);
-    const RunResult ours = run_mr_sepo(*app, input);
-    const RunResult mapcg = run_mr_mapcg(*app, input);
-    table.add_row({app->name, TablePrinter::fmt(ours.sim_seconds * 1e3, 3),
+    const RunResult ours = sepo.run(*app, input, {});
+    const RunResult mapcg = mapcg_eng.run(*app, input, {});
+    table.add_row({app->title, TablePrinter::fmt(ours.sim_seconds * 1e3, 3),
                    TablePrinter::fmt(mapcg.sim_seconds * 1e3, 3),
                    TablePrinter::fmt(mapcg.sim_seconds / ours.sim_seconds, 2) +
                        "X",
@@ -46,9 +47,9 @@ int main() {
   std::printf("\nMapCG on larger datasets (no SEPO, no larger-than-memory "
               "support):\n");
   for (int d = 2; d <= 4; ++d) {
-    const auto& app = word_count_app();
+    const AppInfo& app = *find_app("wc");
     const std::string input = app.generate(table1_bytes("wc", d), 78);
-    const RunResult failed = run_mr_mapcg(app, input);
+    const RunResult failed = mapcg_eng.run(app, input, {});
     if (failed.error)
       std::printf("  Word Count dataset #%d (%.1f MiB): FAILED (%s) — %s\n", d,
                   static_cast<double>(input.size()) / (1 << 20),
@@ -56,7 +57,7 @@ int main() {
     else
       std::printf("  Word Count dataset #%d: unexpectedly succeeded\n", d);
     // Ours processes the same input by iterating (SEPO).
-    const RunResult ours = run_mr_sepo(app, input);
+    const RunResult ours = sepo.run(app, input, {});
     std::printf("    ours: OK in %u iteration(s), %.3f ms\n", ours.iterations,
                 ours.sim_seconds * 1e3);
   }

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/standalone_app.hpp"
+#include "apps/engine.hpp"
 #include "baselines/cpu_hash_table.hpp"
 #include "common/parse.hpp"
 #include "common/strings.hpp"
@@ -28,15 +28,17 @@ int main(int argc, char** argv) {
     mb = *parsed;
   }
 
-  apps::PageViewCountApp app;
+  // Resolve the app and both implementations through the engine registry —
+  // the same seam sepo_cli and the benches dispatch through.
+  const apps::AppInfo& app = *apps::find_app("pvc");
   std::printf("generating ~%.1f MiB of web log...\n", mb);
   const std::string input =
       app.generate(static_cast<std::size_t>(mb * 1024 * 1024), /*seed=*/2024);
 
   std::printf("running on the SEPO virtual GPU (4 MiB device)...\n");
-  const apps::RunResult gpu = app.run_gpu(input);
+  const apps::RunResult gpu = apps::find_engine("sepo-gpu")->run(app, input, {});
   std::printf("running the CPU multi-threaded baseline...\n");
-  const apps::RunResult cpu = app.run_cpu(input);
+  const apps::RunResult cpu = apps::find_engine("cpu")->run(app, input, {});
 
   std::printf("\n  SEPO iterations : %u\n", gpu.iterations);
   std::printf("  distinct URLs   : %llu\n",
@@ -70,7 +72,7 @@ int main(int argc, char** argv) {
         }
       } em;
       em.t = &table;
-      app.map_record(idx.record(input.data(), i), em);
+      app.standalone->map_record(idx.record(input.data(), i), em);
     }
   }
   std::vector<std::pair<std::uint64_t, std::string>> top;

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/mr_apps.hpp"
+#include "apps/engine.hpp"
 #include "baselines/phoenix.hpp"
 #include "common/parse.hpp"
 #include "gpusim/device.hpp"
@@ -32,12 +32,22 @@ int main(int argc, char** argv) {
     mb = *parsed;
   }
 
-  const apps::MrApp& wc = apps::word_count_app();
+  const apps::AppInfo& wc = *apps::find_app("wc");
   std::printf("generating ~%.1f MiB of text...\n", mb);
   const std::string input =
       wc.generate(static_cast<std::size_t>(mb * 1024 * 1024), /*seed=*/99);
 
-  // --- our GPU runtime ---
+  // --- registry-dispatched comparison: our runtime vs Phoenix++ ---
+  const apps::RunResult gpu = apps::find_engine("sepo-mr")->run(wc, input, {});
+  const apps::RunResult cpu = apps::find_engine("phoenix")->run(wc, input, {});
+  std::printf("GPU MapReduce: %u SEPO iteration(s), %llu distinct words\n",
+              gpu.iterations, static_cast<unsigned long long>(gpu.keys));
+  std::printf("Phoenix (CPU): %llu distinct words\n",
+              static_cast<unsigned long long>(cpu.keys));
+  std::printf("result digests: %s\n",
+              gpu.checksum == cpu.checksum ? "match" : "MISMATCH");
+
+  // --- the low-level runtime API, for direct access to the final table ---
   gpusim::Device device(4u << 20);
   gpusim::ThreadPool pool;
   gpusim::RunStats stats;
@@ -46,32 +56,7 @@ int main(int argc, char** argv) {
   // Size the staging ring to the input's record lengths and the device.
   apps::choose_chunking(index_lines(input), apps::GpuConfig{}, rcfg.pipeline);
   mapreduce::MapReduceRuntime runtime(ctx, rcfg);
-  const mapreduce::RunOutcome out = runtime.run(input, wc.spec());
-  std::printf("GPU MapReduce: %u SEPO iteration(s), %zu distinct words\n",
-              out.driver.iterations, out.table->entry_count());
-
-  // --- Phoenix++-style CPU baseline ---
-  gpusim::RunStats cpu_stats;
-  baselines::PhoenixRuntime phoenix(pool, cpu_stats);
-  const auto cpu_table = phoenix.run(input, wc.spec());
-  std::printf("Phoenix (CPU): %zu distinct words\n", cpu_table->entry_count());
-
-  // Cross-check totals.
-  std::uint64_t gpu_total = 0, cpu_total = 0;
-  out.table->for_each([&](std::string_view, std::span<const std::byte> v) {
-    std::uint64_t c = 0;
-    std::memcpy(&c, v.data(), 8);
-    gpu_total += c;
-  });
-  cpu_table->for_each([&](std::string_view, std::span<const std::byte> v) {
-    std::uint64_t c = 0;
-    std::memcpy(&c, v.data(), 8);
-    cpu_total += c;
-  });
-  std::printf("total words: GPU %llu, CPU %llu -> %s\n",
-              static_cast<unsigned long long>(gpu_total),
-              static_cast<unsigned long long>(cpu_total),
-              gpu_total == cpu_total ? "match" : "MISMATCH");
+  const mapreduce::RunOutcome out = runtime.run(input, wc.mr->spec());
 
   // Top words.
   std::vector<std::pair<std::uint64_t, std::string>> top;

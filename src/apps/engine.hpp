@@ -1,0 +1,107 @@
+// Pluggable engine registry (DESIGN.md §2): the one dispatch seam between
+// "which app, which implementation" and the run paths.
+//
+// An AppInfo names one registered application (standalone or MapReduce); an
+// Engine is one implementation that can run it — the SEPO system itself or
+// one of the paper's comparators. Every consumer (sepo_cli run/compare/list,
+// the bench binaries, the examples, the cross-validation tests) resolves
+// apps and engines here instead of keeping its own string if/else chain, so
+// adding a backend is one registration, not a cross-cutting edit.
+//
+// All engines are constructed and listed in engines.cpp — deliberately one
+// translation unit, because self-registration statics spread across a static
+// library get dropped by the linker unless something in each TU is
+// referenced. Registration order is display order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/harness.hpp"
+#include "apps/mr_apps.hpp"
+#include "apps/standalone_app.hpp"
+
+namespace sepo::apps {
+
+// One registered application. Exactly one of `standalone` / `mr` is set.
+struct AppInfo {
+  const char* key;    // CLI name, e.g. "pvc" (the Table I key)
+  const char* title;  // paper name, e.g. "Page View Count"
+  const StandaloneApp* standalone = nullptr;
+  const MrApp* mr = nullptr;
+
+  [[nodiscard]] bool is_mapreduce() const noexcept { return mr != nullptr; }
+  // Table I row key for dataset sizing (apps/datagen.hpp table1_bytes).
+  [[nodiscard]] const char* table1_key() const noexcept {
+    return is_mapreduce() ? mr->table1_key : standalone->table1_key();
+  }
+  [[nodiscard]] std::string generate(std::size_t bytes,
+                                     std::uint64_t seed) const {
+    return is_mapreduce() ? mr->generate(bytes, seed)
+                          : standalone->generate(bytes, seed);
+  }
+};
+
+// Registered apps in display order (standalone first, then MapReduce).
+[[nodiscard]] const std::vector<const AppInfo*>& all_apps();
+// Lookup by CLI key; nullptr when unknown.
+[[nodiscard]] const AppInfo* find_app(std::string_view key);
+
+// Configuration an engine may draw from. GPU-side engines read `gpu`
+// (device size, chunking, trace/journal/faults); host-side engines read
+// `cpu`. Unused halves are ignored.
+struct EngineConfig {
+  GpuConfig gpu;
+  CpuConfig cpu;
+};
+
+class Engine {
+ public:
+  // Capability flags: what the engine can run and which GpuConfig telemetry
+  // hooks it honors. Consumers gate per-run wiring (trace recorder, journal
+  // dump, fault flags) on these instead of matching impl names.
+  struct Caps {
+    bool standalone = false;       // runs StandaloneApp workloads
+    bool mapreduce = false;        // runs MrApp workloads
+    bool simulated_device = false; // builds a virtual GPU (device + PCIe bus)
+    bool trace = false;            // honors GpuConfig.trace
+    bool journal = false;          // honors GpuConfig.journal
+    bool faults = false;           // honors GpuConfig.faults
+  };
+
+  virtual ~Engine() = default;
+
+  // Registry name; always equals the RunResult.impl string the engine emits
+  // (and therefore the "impl" field in metrics files).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  // One-line description for `sepo_cli engines`.
+  [[nodiscard]] virtual const char* describe() const noexcept = 0;
+  [[nodiscard]] virtual Caps caps() const noexcept = 0;
+
+  // Whether this engine can run `app`. Default: the Caps kind flags; engines
+  // with narrower semantics (paging-sim) override.
+  [[nodiscard]] virtual bool supports(const AppInfo& app) const {
+    return app.is_mapreduce() ? caps().mapreduce : caps().standalone;
+  }
+
+  [[nodiscard]] virtual RunResult run(const AppInfo& app,
+                                      std::string_view input,
+                                      const EngineConfig& cfg) const = 0;
+};
+
+// Registered engines in display order.
+[[nodiscard]] const std::vector<const Engine*>& all_engines();
+// Exact-name lookup; nullptr when unknown.
+[[nodiscard]] const Engine* find_engine(std::string_view name);
+// Alias-aware, app-aware lookup: "gpu" resolves to the SEPO engine matching
+// the app's kind (sepo-gpu / sepo-mr), "mr" to sepo-mr; otherwise exact.
+// nullptr when unknown.
+[[nodiscard]] const Engine* resolve_engine(std::string_view name,
+                                           const AppInfo& app);
+// The reference implementation an app's digests are compared against:
+// cpu for standalone apps, phoenix for MapReduce apps.
+[[nodiscard]] const Engine* baseline_engine(const AppInfo& app);
+
+}  // namespace sepo::apps

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -12,6 +13,7 @@
 #include "bigkernel/pipeline.hpp"
 #include "common/hashing.hpp"
 #include "common/strings.hpp"
+#include "common/timer.hpp"
 #include "core/iteration_profile.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/counters.hpp"
@@ -64,6 +66,38 @@ struct CpuConfig {
   // factor around 1 (as a tuned CPU implementation would).
   std::uint32_t num_buckets = 1u << 17;
   std::size_t pool_workers = 0;
+};
+
+// One simulated-GPU run's execution state: virtual device, worker pool,
+// counters, and the ExecContext wiring them together — with the GpuConfig's
+// trace hook, flight-recorder journal, and fault injector installed. This is
+// the ONE place per-run ExecContext setup happens; every simulated-device
+// run path (sepo-gpu, pinned, mapcg, sepo-mr, stadium) builds one of these
+// instead of hand-assembling the pieces. The wall timer starts at
+// construction.
+class SimRun {
+ public:
+  explicit SimRun(const GpuConfig& cfg)
+      : dev(cfg.device_bytes), pool(cfg.pool_workers), ctx(dev, pool, stats) {
+    if (cfg.trace) ctx.set_trace(cfg.trace);
+    if (cfg.journal) ctx.set_journal(cfg.journal);
+    if (cfg.faults.enabled()) {
+      faults_.emplace(cfg.faults);
+      ctx.set_faults(&*faults_);
+    }
+  }
+
+  SimRun(const SimRun&) = delete;
+  SimRun& operator=(const SimRun&) = delete;
+
+  WallTimer timer;
+  gpusim::Device dev;
+  gpusim::ThreadPool pool;
+  gpusim::RunStats stats;
+  gpusim::ExecContext ctx;
+
+ private:
+  std::optional<gpusim::FaultInjector> faults_;
 };
 
 // How a run failed, when it failed in a way the implementation is expected

@@ -109,18 +109,10 @@ const MrApp& patent_citation_app() {
 
 RunResult run_mr_sepo(const MrApp& app, std::string_view input,
                       const GpuConfig& cfg) {
-  WallTimer timer;
-  gpusim::Device dev(cfg.device_bytes);
-  gpusim::ThreadPool pool(cfg.pool_workers);
-  gpusim::RunStats stats;
-  gpusim::ExecContext ctx(dev, pool, stats);
-  if (cfg.trace) ctx.set_trace(cfg.trace);
-  if (cfg.journal) ctx.set_journal(cfg.journal);
-  std::optional<gpusim::FaultInjector> faults;
-  if (cfg.faults.enabled()) {
-    faults.emplace(cfg.faults);
-    ctx.set_faults(&*faults);
-  }
+  SimRun sim(cfg);
+  gpusim::Device& dev = sim.dev;
+  gpusim::RunStats& stats = sim.stats;
+  gpusim::ExecContext& ctx = sim.ctx;
 
   mapreduce::RuntimeConfig rcfg;
   rcfg.table.num_buckets = cfg.num_buckets;
@@ -139,7 +131,7 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
     r.pcie = dev.bus().snapshot();
     r.error = run_error_from(e);
     fill_gpu_times(r, ctx, dev.bus());
-    r.wall_seconds = timer.seconds();
+    r.wall_seconds = sim.timer.seconds();
     return r;
   }
 
@@ -162,7 +154,7 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   r.timeseries = out.driver.timeseries;
   r.bucket_histogram = out.table->occupancy_histogram();
   fill_gpu_times(r, ctx, dev.bus());
-  r.wall_seconds = timer.seconds();
+  r.wall_seconds = sim.timer.seconds();
   return r;
 }
 
@@ -199,17 +191,10 @@ RunResult run_mr_phoenix(const MrApp& app, std::string_view input,
 
 RunResult run_mr_mapcg(const MrApp& app, std::string_view input,
                        const GpuConfig& cfg) {
-  WallTimer timer;
-  gpusim::Device dev(cfg.device_bytes);
-  gpusim::ThreadPool pool(cfg.pool_workers);
-  gpusim::RunStats stats;
-  gpusim::ExecContext ctx(dev, pool, stats);
-  if (cfg.journal) ctx.set_journal(cfg.journal);
-  std::optional<gpusim::FaultInjector> faults;
-  if (cfg.faults.enabled()) {
-    faults.emplace(cfg.faults);
-    ctx.set_faults(&*faults);
-  }
+  SimRun sim(cfg);
+  gpusim::Device& dev = sim.dev;
+  gpusim::RunStats& stats = sim.stats;
+  gpusim::ExecContext& ctx = sim.ctx;
 
   baselines::MapCgConfig mcfg;
   mcfg.num_buckets = cfg.num_buckets;
@@ -243,7 +228,7 @@ RunResult run_mr_mapcg(const MrApp& app, std::string_view input,
                      : digest_kv(MapCgReducedView{mapcg});
   }
   fill_gpu_times(r, ctx, dev.bus());
-  r.wall_seconds = timer.seconds();
+  r.wall_seconds = sim.timer.seconds();
   return r;
 }
 

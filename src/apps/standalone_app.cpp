@@ -95,18 +95,10 @@ class PinnedEmitter final : public mapreduce::Emitter {
 
 RunResult StandaloneApp::run_gpu(std::string_view input,
                                  const GpuConfig& cfg) const {
-  WallTimer timer;
-  gpusim::Device dev(cfg.device_bytes);
-  gpusim::ThreadPool pool(cfg.pool_workers);
-  gpusim::RunStats stats;
-  gpusim::ExecContext ctx(dev, pool, stats);
-  if (cfg.trace) ctx.set_trace(cfg.trace);
-  if (cfg.journal) ctx.set_journal(cfg.journal);
-  std::optional<gpusim::FaultInjector> faults;
-  if (cfg.faults.enabled()) {
-    faults.emplace(cfg.faults);
-    ctx.set_faults(&*faults);
-  }
+  SimRun sim(cfg);
+  gpusim::Device& dev = sim.dev;
+  gpusim::RunStats& stats = sim.stats;
+  gpusim::ExecContext& ctx = sim.ctx;
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
@@ -145,7 +137,7 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
     r.heap_bytes = ht.page_pool().heap_bytes();
     r.error = run_error_from(e);
     fill_gpu_times(r, ctx, dev.bus());
-    r.wall_seconds = timer.seconds();
+    r.wall_seconds = sim.timer.seconds();
     return r;
   }
 
@@ -171,7 +163,7 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   r.timeseries = dres.timeseries;
   r.bucket_histogram = table.occupancy_histogram();
   fill_gpu_times(r, ctx, dev.bus());
-  r.wall_seconds = timer.seconds();
+  r.wall_seconds = sim.timer.seconds();
   return r;
 }
 
@@ -222,18 +214,10 @@ RunResult StandaloneApp::run_cpu(std::string_view input,
 
 RunResult StandaloneApp::run_pinned(std::string_view input,
                                     const GpuConfig& cfg) const {
-  WallTimer timer;
-  gpusim::Device dev(cfg.device_bytes);
-  gpusim::ThreadPool pool(cfg.pool_workers);
-  gpusim::RunStats stats;
-  gpusim::ExecContext ctx(dev, pool, stats);
-  if (cfg.trace) ctx.set_trace(cfg.trace);
-  if (cfg.journal) ctx.set_journal(cfg.journal);
-  std::optional<gpusim::FaultInjector> faults;
-  if (cfg.faults.enabled()) {
-    faults.emplace(cfg.faults);
-    ctx.set_faults(&*faults);
-  }
+  SimRun sim(cfg);
+  gpusim::Device& dev = sim.dev;
+  gpusim::RunStats& stats = sim.stats;
+  gpusim::ExecContext& ctx = sim.ctx;
 
   const RecordIndex index = index_lines(input);
   bigkernel::PipelineConfig pcfg;
@@ -281,7 +265,7 @@ RunResult StandaloneApp::run_pinned(std::string_view input,
                      : digest_kv(table);
   }
   fill_gpu_times(r, ctx, dev.bus());
-  r.wall_seconds = timer.seconds();
+  r.wall_seconds = sim.timer.seconds();
   return r;
 }
 

@@ -42,6 +42,13 @@ class TracedCombiningTable {
     return entries_.size();
   }
 
+  // Host-side iteration over the final content: fn(key, count). Used to
+  // digest the replayed table against the other implementations.
+  template <typename Fn>
+  void for_each_count(const Fn& fn) const {
+    for (const Entry& e : entries_) fn(std::string_view{e.key}, e.count);
+  }
+
  private:
   struct Entry {
     std::uint64_t addr;   // virtual address of this entry

@@ -2,67 +2,46 @@
 // entries dynamically allocated from the bucket-group allocator, growable
 // beyond device memory via the SEPO iteration protocol.
 //
+// Layered (DESIGN.md §2): SepoHashTable is a thin iteration-protocol facade
+// composing a BucketChainStore (bucket_store.hpp — layout, locks, allocator,
+// flush mechanism) with an OrganizationPolicy (organization_policy.hpp — the
+// Figure-5 per-organization insert/flush/residency rules). The public API is
+// unchanged from the pre-layered table.
+//
 // Device-side operations (insert) are called from kernel code; the iteration
 // protocol (begin_iteration / end_iteration / finalize) is called from the
 // host between kernel launches, exactly as in Figure 5.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
 
-#include "alloc/bucket_group_allocator.hpp"
-#include "alloc/host_heap.hpp"
-#include "alloc/page_pool.hpp"
+#include "core/bucket_store.hpp"
 #include "core/entry_layout.hpp"
 #include "core/host_table.hpp"
+#include "core/organization_policy.hpp"
 #include "core/sepo.hpp"
-#include "gpusim/device.hpp"
 #include "gpusim/exec_context.hpp"
-#include "gpusim/launch.hpp"
-#include "gpusim/thread_pool.hpp"
 
 namespace sepo::core {
 
-struct HashTableConfig {
-  Organization org = Organization::kCombining;
-  std::uint32_t num_buckets = 1u << 14;     // power of two
-  // §IV-A trade-off knob. Keep groups x page-classes x page_size well below
-  // the heap: every group holds partially-filled active pages, and too many
-  // groups strand the heap in fragmentation (more SEPO iterations).
-  std::uint32_t buckets_per_group = 512;
-  std::size_t page_size = 8u << 10;
-  CombineFn combiner = nullptr;             // required for kCombining
-  // Heap size: 0 = take all remaining device memory (paper §IV-A).
-  std::size_t heap_bytes = 0;
-  // Multi-valued livelock valve (see DESIGN.md "resident-key cap"): when
-  // key pages kept resident for pending values exceed this fraction of the
-  // pool, they are flushed anyway. Retried records then materialize a
-  // duplicate key entry in the same bucket; HostTable merges duplicates at
-  // read time.
-  double max_resident_key_frac = 0.5;
-};
-
-struct HashTableStats {
-  std::uint64_t resident_entry_bytes = 0;  // bytes currently in device pages
-  std::uint64_t flushed_bytes = 0;         // total bytes ever flushed to host
-  std::uint64_t flush_pages = 0;           // pages flushed
-  std::uint64_t table_bytes = 0;           // flushed + resident (table size)
-};
-
 class SepoHashTable {
  public:
+  using BucketLoad = core::BucketLoad;
+
   SepoHashTable(gpusim::ExecContext& ctx, HashTableConfig cfg);
 
   SepoHashTable(const SepoHashTable&) = delete;
   SepoHashTable& operator=(const SepoHashTable&) = delete;
 
-  [[nodiscard]] const HashTableConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const HashTableConfig& config() const noexcept {
+    return store_.config();
+  }
   [[nodiscard]] std::uint32_t num_groups() const noexcept {
-    return allocator_->num_groups();
+    return store_.allocator().num_groups();
   }
 
   // ------- device-side API (called from kernels) -------
@@ -102,16 +81,13 @@ class SepoHashTable {
 
   // ------- introspection -------
 
-  // Per-bucket access totals, used by the cost model's lock-serialization
-  // term (DESIGN.md §5): on a GPU, thousands of concurrent threads hitting
-  // one hot bucket serialize on its lock (the paper's Word Count §VI-B).
-  struct BucketLoad {
-    std::uint64_t total_accesses = 0;
-    std::uint64_t max_bucket_accesses = 0;
-  };
-  [[nodiscard]] BucketLoad bucket_load() const noexcept;
+  [[nodiscard]] BucketLoad bucket_load() const noexcept {
+    return store_.bucket_load();
+  }
 
-  [[nodiscard]] HashTableStats table_stats() const noexcept;
+  [[nodiscard]] HashTableStats table_stats() const noexcept {
+    return store_.table_stats();
+  }
 
   // Histogram of *resident* (device-side) chain lengths: result[n] = number
   // of buckets whose device chain currently holds n entries; the last bin
@@ -121,7 +97,7 @@ class SepoHashTable {
       std::size_t max_len = 16) const;
 
   [[nodiscard]] std::uint32_t free_pages() const noexcept {
-    return pool_pages_->free_count();
+    return store_.pool().free_count();
   }
   // Pages currently seized by an injected memory-pressure spike; 0 without
   // fault injection. Read by the occupancy sampler (SepoDriver).
@@ -129,39 +105,19 @@ class SepoHashTable {
     return static_cast<std::uint32_t>(pressure_pages_.size());
   }
   [[nodiscard]] gpusim::RunStats& run_stats() noexcept { return stats_; }
-  [[nodiscard]] alloc::HostHeap& host_heap() noexcept { return *host_heap_; }
-  [[nodiscard]] alloc::BucketGroupAllocator& allocator() noexcept {
-    return *allocator_;
+  [[nodiscard]] alloc::HostHeap& host_heap() noexcept {
+    return store_.host_heap();
   }
-  [[nodiscard]] alloc::PagePool& page_pool() noexcept { return *pool_pages_; }
+  [[nodiscard]] alloc::BucketGroupAllocator& allocator() noexcept {
+    return store_.allocator();
+  }
+  [[nodiscard]] alloc::PagePool& page_pool() noexcept { return store_.pool(); }
+
+  // The storage layer, exposed for store-level tests and extensions that
+  // pair a custom policy with the stock store.
+  [[nodiscard]] BucketChainStore& store() noexcept { return store_; }
 
  private:
-  struct Bucket {
-    std::atomic<DevPtr> head_dev{gpusim::kDevNull};
-    HostPtr head_host = alloc::kHostNull;  // guarded by the bucket lock
-  };
-
-  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
-  [[nodiscard]] std::uint32_t group_of(std::uint32_t bucket) const noexcept {
-    return bucket / cfg_.buckets_per_group;
-  }
-
-  Status insert_basic(std::uint32_t b, std::string_view key,
-                      std::span<const std::byte> value);
-  Status insert_combining(std::uint32_t b, std::string_view key,
-                          std::span<const std::byte> value);
-  Status insert_multivalued(std::uint32_t b, std::string_view key,
-                            std::span<const std::byte> value);
-
-  // Walks the device chain of bucket `b` for `key`; returns entry dev ptr or
-  // null. Counts probe work. Caller holds the bucket lock.
-  [[nodiscard]] DevPtr find_in_chain(std::uint32_t b, std::string_view key) const;
-  [[nodiscard]] DevPtr find_key_entry(std::uint32_t b, std::string_view key) const;
-
-  // Flush helpers.
-  void flush_pages(const std::vector<std::uint32_t>& pages);
-  void rebuild_device_chains();
-
   // Fault injection: seizes / returns heap pages to model a device-memory
   // pressure spike (gpusim::FaultInjector). A shrunken pool makes the
   // allocator POSTPONE sooner — degradation through extra SEPO iterations,
@@ -169,32 +125,14 @@ class SepoHashTable {
   void apply_pressure();
 
   gpusim::ExecContext& ctx_;
-  gpusim::Device& dev_;
   gpusim::RunStats& stats_;
-  HashTableConfig cfg_;
-  std::uint32_t bucket_mask_;
-
-  std::unique_ptr<alloc::PagePool> pool_pages_;
-  std::unique_ptr<alloc::HostHeap> host_heap_;
-  std::unique_ptr<alloc::BucketGroupAllocator> allocator_;
-
-  std::vector<Bucket> buckets_;
-  // Lock + access tally per bucket, each on its own cache line
-  // (gpusim::PaddedBucketLock) so concurrent inserts to *different* buckets
-  // never false-share. Device-memory accounting still charges the compact
-  // lock+counter footprint (see the ctor) — the padding is host-only.
-  std::vector<gpusim::PaddedBucketLock> bucket_locks_;
-
-  // Multi-valued: key pages kept resident across iterations because some of
-  // their keys still await values (paper §IV-C).
-  std::vector<std::uint32_t> resident_key_pages_;
+  BucketChainStore store_;
+  std::unique_ptr<OrganizationPolicy> policy_;
 
   // Pages seized by an injected memory-pressure spike (not usable by the
   // allocator until the spike passes).
   std::vector<std::uint32_t> pressure_pages_;
 
-  std::uint64_t flushed_bytes_ = 0;
-  std::uint64_t flush_pages_ = 0;
   bool finalized_ = false;
 };
 

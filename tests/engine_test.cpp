@@ -1,0 +1,105 @@
+// Engine registry (apps/engine.hpp): registration sanity, alias resolution,
+// and the cross-validation sweep — every registered engine that supports an
+// app must produce the same result digest on the same input.
+#include "apps/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace sepo::apps {
+namespace {
+
+TEST(EngineRegistryTest, AppsAreRegisteredInDisplayOrder) {
+  const auto& apps = all_apps();
+  ASSERT_EQ(apps.size(), 7u);
+  const char* expected[] = {"pvc", "ii", "dna", "netflix", "wc", "pc", "geo"};
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_STREQ(apps[i]->key, expected[i]);
+    // Exactly one of the two app kinds is set.
+    EXPECT_NE(apps[i]->standalone == nullptr, apps[i]->mr == nullptr);
+    EXPECT_NE(apps[i]->table1_key(), nullptr);
+  }
+  EXPECT_EQ(find_app("pvc"), apps[0]);
+  EXPECT_EQ(find_app("geo"), apps[6]);
+  EXPECT_EQ(find_app("nope"), nullptr);
+}
+
+TEST(EngineRegistryTest, EnginesAreRegisteredWithUniqueNames) {
+  const auto& engines = all_engines();
+  ASSERT_EQ(engines.size(), 8u);
+  std::set<std::string> names;
+  for (const Engine* e : engines) {
+    EXPECT_TRUE(names.insert(e->name()).second) << e->name();
+    EXPECT_NE(e->describe(), nullptr);
+    // Every engine runs at least one kind of app.
+    EXPECT_TRUE(e->caps().standalone || e->caps().mapreduce) << e->name();
+    EXPECT_EQ(find_engine(e->name()), e);
+  }
+  for (const char* n : {"sepo-gpu", "sepo-mr", "cpu", "phoenix", "pinned",
+                        "mapcg", "stadium", "paging-sim"})
+    EXPECT_NE(find_engine(n), nullptr) << n;
+  EXPECT_EQ(find_engine("gpu"), nullptr);  // alias, not a registry name
+}
+
+TEST(EngineRegistryTest, AliasResolutionFollowsAppKind) {
+  const AppInfo& pvc = *find_app("pvc");
+  const AppInfo& wc = *find_app("wc");
+  EXPECT_STREQ(resolve_engine("gpu", pvc)->name(), "sepo-gpu");
+  EXPECT_STREQ(resolve_engine("gpu", wc)->name(), "sepo-mr");
+  EXPECT_STREQ(resolve_engine("mr", pvc)->name(), "sepo-mr");
+  EXPECT_STREQ(resolve_engine("stadium", pvc)->name(), "stadium");
+  EXPECT_EQ(resolve_engine("nope", pvc), nullptr);
+}
+
+TEST(EngineRegistryTest, BaselineEngineMatchesAppKind) {
+  EXPECT_STREQ(baseline_engine(*find_app("dna"))->name(), "cpu");
+  EXPECT_STREQ(baseline_engine(*find_app("geo"))->name(), "phoenix");
+}
+
+TEST(EngineRegistryTest, SupportMatrixCoversEveryApp) {
+  for (const AppInfo* app : all_apps()) {
+    int supporting = 0;
+    for (const Engine* e : all_engines())
+      if (e->supports(*app)) ++supporting;
+    // At minimum: the SEPO engine, the reference baseline, and one
+    // alternative design per app.
+    EXPECT_GE(supporting, 3) << app->key;
+    EXPECT_TRUE(resolve_engine("gpu", *app)->supports(*app)) << app->key;
+    EXPECT_TRUE(baseline_engine(*app)->supports(*app)) << app->key;
+  }
+  // stadium runs every standalone app; paging-sim only the count-combining
+  // shape it can replay faithfully.
+  EXPECT_TRUE(find_engine("stadium")->supports(*find_app("ii")));
+  EXPECT_FALSE(find_engine("stadium")->supports(*find_app("wc")));
+  EXPECT_TRUE(find_engine("paging-sim")->supports(*find_app("pvc")));
+  EXPECT_FALSE(find_engine("paging-sim")->supports(*find_app("dna")));
+  EXPECT_FALSE(find_engine("paging-sim")->supports(*find_app("ii")));
+}
+
+// The registry's correctness oracle: for each app, every supporting engine
+// run on the same tiny input must agree on the order-independent digest —
+// including the stadium baseline, whose host-side merge reconstructs the
+// combining/grouping semantics its design lacks.
+TEST(EngineCrossValidationTest, AllSupportingEnginesAgreeOnDigests) {
+  for (const AppInfo* app : all_apps()) {
+    const std::string input = app->generate(96u << 10, /*seed=*/7);
+    std::map<std::string, RunResult> results;
+    for (const Engine* e : all_engines())
+      if (e->supports(*app)) results.emplace(e->name(), e->run(*app, input, {}));
+    ASSERT_GE(results.size(), 3u) << app->key;
+    const RunResult& ref = results.at(baseline_engine(*app)->name());
+    ASSERT_FALSE(ref.error) << app->key;
+    EXPECT_GT(ref.keys, 0u) << app->key;
+    for (const auto& [name, r] : results) {
+      ASSERT_FALSE(r.error) << app->key << "/" << name << ": "
+                            << r.error.message;
+      EXPECT_EQ(r.checksum, ref.checksum) << app->key << "/" << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sepo::apps

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Local CI: run the CMake workflow presets (configure + build + ctest) for
+# the debug, release, and ASan/UBSan configurations, in that order — the
+# same gauntlet a change must pass before it lands.
+#
+#   tools/ci.sh              # all three workflows
+#   tools/ci.sh ci-asan      # just the named workflow(s)
+#
+# Each workflow builds into its own build-<preset>/ tree (see
+# CMakePresets.json), so the trees can be kept warm between runs. Stops at
+# the first failing workflow.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workflows="${*:-ci-debug ci-release ci-asan}"
+for wf in $workflows; do
+  echo "== workflow: $wf =="
+  cmake --workflow --preset "$wf"
+done
+echo "== all workflows passed: $workflows =="

@@ -36,9 +36,7 @@
 #include <string>
 
 #include "apps/datagen.hpp"
-#include "apps/mr_apps.hpp"
-#include "apps/standalone_app.hpp"
-#include "baselines/mapcg.hpp"
+#include "apps/engine.hpp"
 #include "common/parse.hpp"
 #include "common/table_printer.hpp"
 #include "gpusim/fault.hpp"
@@ -85,13 +83,36 @@ bool parse_flag(const std::string& flag, const char* value, T& out) {
   return true;
 }
 
+// " | "-joined registry keys/names for usage() and cmd_list(). The lists are
+// derived from the registry so they cannot drift from what actually runs.
+std::string join_app_keys() {
+  std::string s;
+  for (const AppInfo* a : all_apps()) {
+    if (!s.empty()) s += " | ";
+    s += a->key;
+  }
+  return s;
+}
+
+std::string join_engine_names(bool mapreduce) {
+  std::string s = "gpu";  // alias: the SEPO engine for the app's kind
+  for (const Engine* e : all_engines()) {
+    if (!(mapreduce ? e->caps().mapreduce : e->caps().standalone)) continue;
+    s += " | ";
+    s += e->name();
+  }
+  return s;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: sepo_cli <command> [options]\n"
                "commands:\n"
                "  list                       list applications and implementations\n"
+               "  engines                    print the app x engine support matrix\n"
                "  run --app A --impl I       run one application\n"
-               "  compare --app A            run gpu vs cpu baseline, verify digests\n"
+               "  compare --app A [--impl I] run I (default gpu) vs the reference\n"
+               "                             baseline, verify digests\n"
                "  metrics-check FILE         validate a metrics JSON file\n"
                "  metrics-diff OLD NEW       compare two metrics files; exits 3 when\n"
                "                             sim_seconds regressed > --max-regress-pct\n"
@@ -103,10 +124,14 @@ void usage() {
                "  bench-diff OLD NEW         compare two BENCH_host.json files; exits 3\n"
                "                             when wall_seconds regressed beyond\n"
                "                             --max-regress-pct (default 25)\n"
-               "options:\n"
-               "  --app A          pvc | ii | dna | netflix | wc | pc | geo\n"
-               "  --impl I         gpu | cpu | pinned   (standalone apps)\n"
-               "                   gpu | phoenix | mapcg (MapReduce apps)\n"
+               "options:\n");
+  std::fprintf(stderr,
+               "  --app A          %s\n"
+               "  --impl I         %s (standalone apps)\n"
+               "                   %s (MapReduce apps)\n",
+               join_app_keys().c_str(), join_engine_names(false).c_str(),
+               join_engine_names(true).c_str());
+  std::fprintf(stderr,
                "  --dataset 1..4   paper Table I size, scaled 1:1000 (default 2)\n"
                "  --bytes N        explicit input size, overrides --dataset\n"
                "  --seed S         generator seed (default 42)\n"
@@ -135,23 +160,15 @@ void usage() {
                "                        ($SEPO_JOURNAL_OUT)\n");
 }
 
-bool is_mr_app(const std::string& app) {
-  return app == "wc" || app == "pc" || app == "geo";
-}
-
-const MrApp* mr_app(const std::string& app) {
-  if (app == "wc") return &word_count_app();
-  if (app == "pc") return &patent_citation_app();
-  if (app == "geo") return &geo_location_app();
-  return nullptr;
-}
-
-std::unique_ptr<StandaloneApp> standalone_app(const std::string& app) {
-  if (app == "pvc") return std::make_unique<PageViewCountApp>();
-  if (app == "ii") return std::make_unique<InvertedIndexApp>();
-  if (app == "dna") return std::make_unique<DnaAssemblyApp>();
-  if (app == "netflix") return std::make_unique<NetflixApp>();
-  return nullptr;
+// Table-organization / MapReduce-mode label for cmd_list.
+const char* org_name(const AppInfo& a) {
+  if (a.is_mapreduce()) return mapreduce::to_string(a.mr->mode);
+  switch (a.standalone->organization()) {
+    case core::Organization::kBasic: return "basic";
+    case core::Organization::kMultiValued: return "multi-valued";
+    case core::Organization::kCombining: return "combining";
+  }
+  return "?";
 }
 
 std::optional<Options> parse(int argc, char** argv) {
@@ -255,15 +272,45 @@ void print_result(const Options& o, const RunResult& r) {
 }
 
 int cmd_list() {
-  std::printf("standalone applications (impls: gpu, cpu, pinned):\n");
-  std::printf("  pvc      Page View Count       combining\n");
-  std::printf("  ii       Inverted Index        multi-valued\n");
-  std::printf("  dna      DNA Assembly          combining\n");
-  std::printf("  netflix  Netflix similarity    combining\n");
-  std::printf("MapReduce applications (impls: gpu, phoenix, mapcg):\n");
-  std::printf("  wc       Word Count            MAP_REDUCE\n");
-  std::printf("  pc       Patent Citation       MAP_GROUP\n");
-  std::printf("  geo      Geo Location          MAP_GROUP\n");
+  std::printf("standalone applications (impls: %s):\n",
+              join_engine_names(false).c_str());
+  for (const AppInfo* a : all_apps())
+    if (!a->is_mapreduce())
+      std::printf("  %-8s %-22s %s\n", a->key, a->title, org_name(*a));
+  std::printf("MapReduce applications (impls: %s):\n",
+              join_engine_names(true).c_str());
+  for (const AppInfo* a : all_apps())
+    if (a->is_mapreduce())
+      std::printf("  %-8s %-22s %s\n", a->key, a->title, org_name(*a));
+  return 0;
+}
+
+// `sepo_cli engines`: the app x engine support matrix plus capability flags
+// and one-line descriptions — all straight from the registry.
+int cmd_engines() {
+  std::vector<std::string> header = {"engine"};
+  for (const AppInfo* a : all_apps()) header.emplace_back(a->key);
+  header.emplace_back("device");
+  header.emplace_back("telemetry");
+  TablePrinter table(std::move(header));
+  for (const Engine* e : all_engines()) {
+    std::vector<std::string> row = {e->name()};
+    for (const AppInfo* a : all_apps())
+      row.emplace_back(e->supports(*a) ? "x" : "-");
+    const Engine::Caps caps = e->caps();
+    row.emplace_back(caps.simulated_device ? "sim" : "host");
+    std::string telemetry;
+    if (caps.trace) telemetry += "trace ";
+    if (caps.journal) telemetry += "journal ";
+    if (caps.faults) telemetry += "faults";
+    if (telemetry.empty()) telemetry = "-";
+    row.emplace_back(std::move(telemetry));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n");
+  for (const Engine* e : all_engines())
+    std::printf("  %-11s %s\n", e->name(), e->describe());
   return 0;
 }
 
@@ -283,7 +330,8 @@ bool write_outputs(const obs::OutputOptions& out, const obs::MetricsReport& repo
     if (!rec) {
       std::fprintf(stderr,
                    "trace: no simulated-device activity recorded "
-                   "(--trace-out applies to gpu/pinned/mapcg impls)\n");
+                   "(--trace-out applies to impls with trace support; "
+                   "see `sepo_cli engines`)\n");
     } else if (!rec->write_file(out.trace_path, &err)) {
       std::fprintf(stderr, "trace: %s\n", err.c_str());
       return false;
@@ -304,7 +352,8 @@ bool write_journal(const obs::OutputOptions& out,
   if (!journal) {
     std::fprintf(stderr,
                  "journal: no simulated-device activity recorded "
-                 "(--journal-out applies to gpu/pinned/mapcg impls)\n");
+                 "(--journal-out applies to impls with journal support; "
+                 "see `sepo_cli engines`)\n");
     return true;
   }
   std::string err;
@@ -327,73 +376,58 @@ obs::Json run_extra(const Options& o, std::size_t bytes) {
 }
 
 int cmd_run(const Options& o, const obs::OutputOptions& out) {
-  const char* key = is_mr_app(o.app) ? mr_app(o.app)->table1_key
-                    : standalone_app(o.app) ? standalone_app(o.app)->table1_key()
-                                            : nullptr;
-  if (!key) {
+  const AppInfo* app = find_app(o.app);
+  if (!app) {
     std::fprintf(stderr, "unknown app: %s\n", o.app.c_str());
     return 1;
   }
-  const std::size_t bytes = o.bytes ? o.bytes : table1_bytes(key, o.dataset);
+  const Engine* eng = resolve_engine(o.impl, *app);
+  if (!eng) {
+    std::fprintf(stderr, "unknown impl: %s (see `sepo_cli engines`)\n",
+                 o.impl.c_str());
+    return 1;
+  }
+  if (!eng->supports(*app)) {
+    std::fprintf(stderr,
+                 "impl %s does not support app %s (see `sepo_cli engines`)\n",
+                 eng->name(), o.app.c_str());
+    return 1;
+  }
+  const std::size_t bytes =
+      o.bytes ? o.bytes : table1_bytes(app->table1_key(), o.dataset);
 
-  GpuConfig gcfg;
-  gcfg.device_bytes = o.device_kb << 10;
-  gcfg.faults = o.faults;
-  gcfg.pool_workers = o.workers;
-  CpuConfig ccfg;
-  ccfg.num_threads = o.threads;
-  ccfg.pool_workers = o.workers;
+  EngineConfig cfg;
+  cfg.gpu.device_bytes = o.device_kb << 10;
+  cfg.gpu.faults = o.faults;
+  cfg.gpu.pool_workers = o.workers;
+  cfg.cpu.num_threads = o.threads;
+  cfg.cpu.pool_workers = o.workers;
 
-  const bool gpu_impl = o.impl == "gpu" || o.impl == "pinned" || o.impl == "mapcg";
+  // Per-run telemetry is gated on the engine's capability flags, not on an
+  // impl-name heuristic.
+  const Engine::Caps caps = eng->caps();
+  if (o.faults.enabled() && !caps.faults)
+    std::fprintf(stderr, "note: impl %s ignores fault injection\n",
+                 eng->name());
   std::unique_ptr<obs::TraceRecorder> rec;
-  if (out.trace_enabled() && gpu_impl) {
+  if (out.trace_enabled() && caps.trace) {
     rec = std::make_unique<obs::TraceRecorder>();
-    gcfg.trace = rec.get();
+    cfg.gpu.trace = rec.get();
   }
   // The journal outlives the try block so a thrown run still gets its
   // post-mortem dump (the run harness joins its workers before unwinding,
   // so the drain below sees quiescent shards).
   std::unique_ptr<gpusim::EventJournal> journal;
-  if (out.journal_enabled() && gpu_impl) {
+  if (out.journal_enabled() && caps.journal) {
     journal = std::make_unique<gpusim::EventJournal>();
-    gcfg.journal = journal.get();
+    cfg.gpu.journal = journal.get();
   }
 
   try {
-    RunResult r;
-    if (is_mr_app(o.app)) {
-      const MrApp& app = *mr_app(o.app);
-      std::fprintf(stderr, "generating %s of input...\n",
-                   TablePrinter::fmt_bytes(bytes).c_str());
-      const std::string input = app.generate(bytes, o.seed);
-      if (o.impl == "gpu")
-        r = run_mr_sepo(app, input, gcfg);
-      else if (o.impl == "phoenix")
-        r = run_mr_phoenix(app, input, ccfg);
-      else if (o.impl == "mapcg")
-        r = run_mr_mapcg(app, input, gcfg);
-      else {
-        std::fprintf(stderr, "impl %s not available for MapReduce apps\n",
-                     o.impl.c_str());
-        return 1;
-      }
-    } else {
-      const auto app = standalone_app(o.app);
-      std::fprintf(stderr, "generating %s of input...\n",
-                   TablePrinter::fmt_bytes(bytes).c_str());
-      const std::string input = app->generate(bytes, o.seed);
-      if (o.impl == "gpu")
-        r = app->run_gpu(input, gcfg);
-      else if (o.impl == "cpu")
-        r = app->run_cpu(input, ccfg);
-      else if (o.impl == "pinned")
-        r = app->run_pinned(input, gcfg);
-      else {
-        std::fprintf(stderr, "impl %s not available for standalone apps\n",
-                     o.impl.c_str());
-        return 1;
-      }
-    }
+    std::fprintf(stderr, "generating %s of input...\n",
+                 TablePrinter::fmt_bytes(bytes).c_str());
+    const std::string input = app->generate(bytes, o.seed);
+    const RunResult r = eng->run(*app, input, cfg);
     obs::MetricsReport report("sepo_cli");
     report.add_run(o.app, r, run_extra(o, bytes));
     if (r.error) {
@@ -419,42 +453,53 @@ int cmd_run(const Options& o, const obs::OutputOptions& out) {
 }
 
 int cmd_compare(const Options& o, const obs::OutputOptions& out) {
-  const std::string b_impl = is_mr_app(o.app) ? "phoenix" : "cpu";
-  std::printf("== %s: gpu vs %s ==\n", o.app.c_str(), b_impl.c_str());
-  const char* key = is_mr_app(o.app)
-                        ? mr_app(o.app)->table1_key
-                        : standalone_app(o.app)->table1_key();
-  const std::size_t bytes = o.bytes ? o.bytes : table1_bytes(key, o.dataset);
+  const AppInfo* app = find_app(o.app);
+  if (!app) {
+    std::fprintf(stderr, "unknown app: %s\n", o.app.c_str());
+    return 1;
+  }
+  const Engine* test = resolve_engine(o.impl, *app);
+  if (!test) {
+    std::fprintf(stderr, "unknown impl: %s (see `sepo_cli engines`)\n",
+                 o.impl.c_str());
+    return 1;
+  }
+  if (!test->supports(*app)) {
+    std::fprintf(stderr,
+                 "impl %s does not support app %s (see `sepo_cli engines`)\n",
+                 test->name(), o.app.c_str());
+    return 1;
+  }
+  const Engine* base = baseline_engine(*app);
+  std::printf("== %s: %s vs %s ==\n", o.app.c_str(), test->name(),
+              base->name());
+  const std::size_t bytes =
+      o.bytes ? o.bytes : table1_bytes(app->table1_key(), o.dataset);
   std::unique_ptr<obs::TraceRecorder> rec;
-  if (out.trace_enabled()) rec = std::make_unique<obs::TraceRecorder>();
+  if (out.trace_enabled() && test->caps().trace)
+    rec = std::make_unique<obs::TraceRecorder>();
   try {
-    RunResult ra, rb;
-    GpuConfig gcfg;
-    gcfg.device_bytes = o.device_kb << 10;
-    gcfg.faults = o.faults;
-    gcfg.pool_workers = o.workers;
-    gcfg.trace = rec.get();
-    const CpuConfig ccfg{.num_threads = o.threads, .pool_workers = o.workers};
-    if (rec) rec->begin_section(o.app + "/gpu");
-    if (is_mr_app(o.app)) {
-      const MrApp& app = *mr_app(o.app);
-      const std::string input = app.generate(bytes, o.seed);
-      ra = run_mr_sepo(app, input, gcfg);
-      rb = run_mr_phoenix(app, input, ccfg);
-    } else {
-      const auto app = standalone_app(o.app);
-      const std::string input = app->generate(bytes, o.seed);
-      ra = app->run_gpu(input, gcfg);
-      rb = app->run_cpu(input, ccfg);
-    }
+    EngineConfig cfg;
+    cfg.gpu.device_bytes = o.device_kb << 10;
+    cfg.gpu.faults = o.faults;
+    cfg.gpu.pool_workers = o.workers;
+    cfg.gpu.trace = rec.get();
+    cfg.cpu.num_threads = o.threads;
+    cfg.cpu.pool_workers = o.workers;
+    if (rec) rec->begin_section(o.app + "/" + test->name());
+    const std::string input = app->generate(bytes, o.seed);
+    const RunResult ra = test->run(*app, input, cfg);
+    EngineConfig bcfg = cfg;
+    bcfg.gpu.trace = nullptr;  // the trace follows the tested engine only
+    const RunResult rb = base->run(*app, input, bcfg);
     if (ra.error) {
-      std::fprintf(stderr, "gpu run failed (%s): %s\n", ra.error.kind_name(),
-                   ra.error.message.c_str());
+      std::fprintf(stderr, "%s run failed (%s): %s\n", test->name(),
+                   ra.error.kind_name(), ra.error.message.c_str());
       return 2;
     }
-    std::printf("gpu   : %.3f ms, %u iteration(s)\n", ra.sim_seconds * 1e3,
-                ra.iterations);
-    std::printf("%s : %.3f ms\n", rb.impl.c_str(), rb.sim_seconds * 1e3);
+    std::printf("%-7s: %.3f ms, %u iteration(s)\n", ra.impl.c_str(),
+                ra.sim_seconds * 1e3, ra.iterations);
+    std::printf("%-7s: %.3f ms\n", rb.impl.c_str(), rb.sim_seconds * 1e3);
     std::printf("speedup: %.2fx\n", rb.sim_seconds / ra.sim_seconds);
     std::printf("digests: %s\n",
                 ra.checksum == rb.checksum ? "MATCH" : "MISMATCH");
@@ -982,6 +1027,7 @@ int main(int argc, char** argv) {
   }
   opts->workers = workers;
   if (opts->command == "list") return cmd_list();
+  if (opts->command == "engines") return cmd_engines();
   if (opts->command == "run") return cmd_run(*opts, out);
   if (opts->command == "compare") return cmd_compare(*opts, out);
   usage();

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <new>
+#include <optional>
 #include <unordered_map>
 
 #include "baselines/paging_sim.hpp"
@@ -203,15 +204,19 @@ class StadiumEngine final : public Engine {
   RunResult run(const AppInfo& app, std::string_view input,
                 const EngineConfig& cfg) const override {
     SimRun sim(cfg.gpu);
-    baselines::StadiumHashTable table(sim.ctx,
-                                      {.num_buckets = cfg.gpu.num_buckets});
-    StadiumEmitter em(table);
     const RecordIndex idx = index_lines(input);
     RunResult r;
     r.impl = name();
     // Input still streams through staged chunks; meter it as one bulk pass.
     sim.dev.bus().h2d(input.size());
+    // Constructed inside the try: the bucket array's static allocation can
+    // itself exceed a small device, and that too must surface as a typed
+    // RunError rather than a raw exception.
+    std::optional<baselines::StadiumHashTable> table;
     try {
+      table.emplace(sim.ctx,
+                    baselines::StadiumConfig{.num_buckets = cfg.gpu.num_buckets});
+      StadiumEmitter em(*table);
       for (std::size_t i = 0; i < idx.size(); ++i) {
         const std::string_view body = idx.record(input.data(), i);
         sim.stats.add_work_units(body.size());
@@ -223,14 +228,15 @@ class StadiumEngine final : public Engine {
       // the run fails structurally rather than returning a partial table.
       r.error = run_error_from(e);
     }
-    const auto load = table.bucket_load();
+    const auto load = table ? table->bucket_load()
+                            : baselines::StadiumHashTable::BucketLoad{};
     r.stats = sim.stats.snapshot();
     r.pcie = sim.dev.bus().snapshot();
     r.serial = {.total_lock_ops = load.total_accesses,
                 .max_same_lock_ops = load.max_bucket_accesses,
                 .serial_atomic_ops = 0};
     r.iterations = 1;
-    if (!r.error) digest_stadium(app, table, r);
+    if (!r.error) digest_stadium(app, *table, r);
     // No timeline commands are scheduled on this path; the analytic model
     // (which reads the bus meters) is the one that carries the cost.
     r.sim_seconds = gpu_sim_seconds(r.stats, sim.dev.bus(), r.pcie, r.serial,

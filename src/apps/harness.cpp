@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "baselines/mapcg.hpp"
 #include "common/hashing.hpp"
 
 namespace sepo::apps {
@@ -78,9 +79,19 @@ void fill_gpu_times(RunResult& r, const gpusim::ExecContext& ctx,
 
 RunError run_error_from(const std::exception& e) {
   RunError err;
-  err.kind = dynamic_cast<const gpusim::FaultError*>(&e) != nullptr
-                 ? RunError::Kind::kFaultRetriesExhausted
-                 : RunError::Kind::kDeviceOutOfMemory;
+  // Order matters: FaultError and the MapCG OOM both derive from
+  // runtime_error, and DeviceOutOfMemory derives from bad_alloc, so the
+  // specific types must be tested before their bases. A plain runtime_error
+  // is the driver's stall report (iteration cap / zero progress).
+  if (dynamic_cast<const gpusim::FaultError*>(&e) != nullptr)
+    err.kind = RunError::Kind::kFaultRetriesExhausted;
+  else if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr ||
+           dynamic_cast<const baselines::MapCgOutOfMemory*>(&e) != nullptr)
+    err.kind = RunError::Kind::kDeviceOutOfMemory;
+  else if (dynamic_cast<const std::runtime_error*>(&e) != nullptr)
+    err.kind = RunError::Kind::kNoProgress;
+  else
+    err.kind = RunError::Kind::kDeviceOutOfMemory;
   err.message = e.what();
   return err;
 }

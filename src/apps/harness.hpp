@@ -110,6 +110,7 @@ struct RunError {
     kNone = 0,
     kDeviceOutOfMemory,      // static/arena allocation exceeded the device
     kFaultRetriesExhausted,  // a faulted operation ran out of retries
+    kNoProgress,             // driver stalled (iteration cap / zero progress)
   };
   Kind kind = Kind::kNone;
   std::string message;
@@ -121,6 +122,7 @@ struct RunError {
     switch (kind) {
       case Kind::kDeviceOutOfMemory: return "device_out_of_memory";
       case Kind::kFaultRetriesExhausted: return "fault_retries_exhausted";
+      case Kind::kNoProgress: return "no_progress";
       case Kind::kNone: break;
     }
     return "none";

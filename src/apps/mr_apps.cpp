@@ -119,12 +119,12 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
   rcfg.table.buckets_per_group = cfg.buckets_per_group;
   rcfg.table.page_size = cfg.page_size;
   choose_chunking(index_lines(input), cfg, rcfg.pipeline);
-  mapreduce::MapReduceRuntime runtime(ctx, rcfg);
 
-  mapreduce::RunOutcome out;
-  try {
-    out = runtime.run(input, app.spec());
-  } catch (const gpusim::FaultError& e) {
+  // Constructed inside the try: the runtime's table can already exceed the
+  // device (typed DeviceOutOfMemory), and like any other structural failure
+  // that must surface as a RunError, not a raw exception.
+  std::optional<mapreduce::MapReduceRuntime> runtime;
+  const auto fail = [&](const std::exception& e) {
     RunResult r;
     r.impl = "sepo-mr";
     r.stats = stats.snapshot();
@@ -133,19 +133,32 @@ RunResult run_mr_sepo(const MrApp& app, std::string_view input,
     fill_gpu_times(r, ctx, dev.bus());
     r.wall_seconds = sim.timer.seconds();
     return r;
+  };
+
+  mapreduce::RunOutcome out;
+  try {
+    runtime.emplace(ctx, rcfg);
+    out = runtime->run(input, app.spec());
+  } catch (const gpusim::FaultError& e) {
+    return fail(e);
+  } catch (const std::bad_alloc& e) {
+    return fail(e);
+  } catch (const std::runtime_error& e) {
+    // Driver stall (iteration cap / zero progress) — typed kNoProgress.
+    return fail(e);
   }
 
   RunResult r;
   r.impl = "sepo-mr";
   r.stats = stats.snapshot();
   r.pcie = dev.bus().snapshot();
-  const auto load = runtime.table()->bucket_load();
+  const auto load = runtime->table()->bucket_load();
   r.serial = {.total_lock_ops = load.total_accesses,
               .max_same_lock_ops = load.max_bucket_accesses,
               .serial_atomic_ops = 0};
   r.iterations = out.driver.iterations;
-  r.table_bytes = runtime.table()->table_stats().table_bytes;
-  r.heap_bytes = runtime.table()->page_pool().heap_bytes();
+  r.table_bytes = runtime->table()->table_stats().table_bytes;
+  r.heap_bytes = runtime->table()->page_pool().heap_bytes();
   r.keys = out.table->entry_count();
   r.checksum = app.mode == mapreduce::Mode::kMapGroup
                    ? digest_groups(*out.table)

@@ -112,38 +112,52 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
   tcfg.page_size = cfg.page_size;
   tcfg.combiner = combiner();
   tcfg.heap_bytes = cfg.heap_bytes;
-  core::SepoHashTable ht(ctx, tcfg);
+
+  // The table is constructed inside the try: its static structures can
+  // already exceed the device (typed DeviceOutOfMemory), so construction
+  // failures must surface as a RunError like any other structural failure —
+  // not escape as a raw exception.
+  std::optional<core::SepoHashTable> ht;
+  const auto fail = [&](const std::exception& e) {
+    RunResult r;
+    r.impl = "sepo-gpu";
+    r.stats = stats.snapshot();
+    r.pcie = dev.bus().snapshot();
+    r.heap_bytes = ht ? ht->page_pool().heap_bytes() : 0;
+    r.error = run_error_from(e);
+    fill_gpu_times(r, ctx, dev.bus());
+    r.wall_seconds = sim.timer.seconds();
+    return r;
+  };
 
   ProgressTracker progress(index.size(), /*multi_emit=*/true);
   core::SepoDriver driver({.basic_halt_frac = cfg.basic_halt_frac});
   const bool divergent = divergent_parse();
   core::DriverResult dres;
   try {
+    ht.emplace(ctx, tcfg);
     dres = driver.run(
-        ht, pipe, input, index, progress,
+        *ht, pipe, input, index, progress,
         [&](std::size_t rec, std::string_view body) {
           if (divergent) stats.add_divergent_units(body.size());
-          mapreduce::SepoEmitter em(ht, progress, rec);
+          mapreduce::SepoEmitter em(*ht, progress, rec);
           map_record(body, em);
           return em.failed() ? core::Status::kPostpone : core::Status::kSuccess;
         });
   } catch (const gpusim::FaultError& e) {
     // Transient-fault retry exhaustion is the one adversity SEPO cannot
     // absorb by postponing; surface it structurally.
-    RunResult r;
-    r.impl = "sepo-gpu";
-    r.stats = stats.snapshot();
-    r.pcie = dev.bus().snapshot();
-    r.heap_bytes = ht.page_pool().heap_bytes();
-    r.error = run_error_from(e);
-    fill_gpu_times(r, ctx, dev.bus());
-    r.wall_seconds = sim.timer.seconds();
-    return r;
+    return fail(e);
+  } catch (const std::bad_alloc& e) {
+    return fail(e);
+  } catch (const std::runtime_error& e) {
+    // Driver stall (iteration cap / zero progress) — typed kNoProgress.
+    return fail(e);
   }
 
-  const auto table_stats = ht.table_stats();
-  const auto load = ht.bucket_load();
-  const core::HostTable table = ht.finalize();
+  const auto table_stats = ht->table_stats();
+  const auto load = ht->bucket_load();
+  const core::HostTable table = ht->finalize();
 
   RunResult r;
   r.impl = "sepo-gpu";
@@ -154,7 +168,7 @@ RunResult StandaloneApp::run_gpu(std::string_view input,
               .serial_atomic_ops = 0};
   r.iterations = dres.iterations;
   r.table_bytes = table_stats.table_bytes;
-  r.heap_bytes = ht.page_pool().heap_bytes();
+  r.heap_bytes = ht->page_pool().heap_bytes();
   r.keys = table.entry_count();
   r.checksum = organization() == core::Organization::kMultiValued
                    ? digest_groups(table)

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -39,6 +40,7 @@ class AtomicBitmap {
 
   // Atomically sets bit `i`. Returns true iff the bit was previously unset.
   bool set(std::size_t i) noexcept {
+    assert(i < num_bits_);
     const std::uint64_t mask = std::uint64_t{1} << (i & 63);
     const std::uint64_t old =
         words_[i >> 6].v.fetch_or(mask, std::memory_order_acq_rel);
@@ -47,6 +49,7 @@ class AtomicBitmap {
 
   // Atomically clears bit `i`. Returns true iff the bit was previously set.
   bool unset(std::size_t i) noexcept {
+    assert(i < num_bits_);
     const std::uint64_t mask = std::uint64_t{1} << (i & 63);
     const std::uint64_t old =
         words_[i >> 6].v.fetch_and(~mask, std::memory_order_acq_rel);
@@ -54,6 +57,7 @@ class AtomicBitmap {
   }
 
   [[nodiscard]] bool test(std::size_t i) const noexcept {
+    assert(i < num_bits_);
     const std::uint64_t mask = std::uint64_t{1} << (i & 63);
     return (words_[i >> 6].v.load(std::memory_order_acquire) & mask) != 0;
   }
@@ -62,11 +66,18 @@ class AtomicBitmap {
   // use it between kernel launches when the bitmap is quiescent.
   [[nodiscard]] std::size_t count() const noexcept {
     std::size_t n = 0;
-    for (const auto& w : words_)
+    // Trailing-word bits past num_bits_ are masked out rather than trusted
+    // to be clear, so count() stays correct even if a stray out-of-range
+    // set() slipped past the debug assert in a release build.
+    const std::size_t full = num_bits_ >> 6;
+    for (std::size_t wi = 0; wi < full; ++wi)
       n += static_cast<std::size_t>(
-          std::popcount(w.v.load(std::memory_order_relaxed)));
-    // The last word may contain bits past num_bits_; they are never set, so
-    // no correction is needed.
+          std::popcount(words_[wi].v.load(std::memory_order_relaxed)));
+    const std::size_t tail = num_bits_ & 63;
+    if (tail != 0)
+      n += static_cast<std::size_t>(std::popcount(
+          words_[full].v.load(std::memory_order_relaxed) &
+          ((std::uint64_t{1} << tail) - 1)));
     return n;
   }
 

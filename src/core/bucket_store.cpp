@@ -36,8 +36,12 @@ BucketChainStore::BucketChainStore(gpusim::ExecContext& ctx,
 
   const std::size_t heap_bytes =
       cfg_.heap_bytes == 0 ? dev_.mem_free() : cfg_.heap_bytes;
+  // A device too small to hold even one heap page is a capacity failure,
+  // not a caller mistake: surface it as the typed OOM so run paths fold it
+  // into RunError::kDeviceOutOfMemory instead of letting it escape.
   if (heap_bytes < cfg_.page_size)
-    throw std::invalid_argument("device memory too small for one heap page");
+    throw gpusim::DeviceOutOfMemory(cfg_.page_size, dev_.static_used(),
+                                    dev_.capacity());
   pool_pages_ =
       std::make_unique<alloc::PagePool>(dev_, heap_bytes, cfg_.page_size);
   pool_pages_->set_journal(ctx_.journal());

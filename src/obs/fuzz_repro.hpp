@@ -1,0 +1,48 @@
+// Fuzz repro artifacts: serialization of a failed differential fuzz run
+// (apps/fuzz.hpp) to a standalone JSON file, and the parse path that lets
+// `sepo_cli fuzz --repro <file>` replay it bit-identically.
+//
+// An artifact carries the complete FuzzPlan (every field that can influence
+// the run), the recorded verdict, both engines' outcomes, and — when the
+// engine under test supports the flight recorder — the drained journal as a
+// sibling `<path>.journal.jsonl` so the events leading up to the mismatch
+// survive for `sepo_cli report --journal`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "apps/fuzz.hpp"
+#include "obs/json.hpp"
+
+namespace sepo::obs {
+
+inline constexpr int kFuzzReproVersion = 1;
+
+[[nodiscard]] Json to_json(const apps::FuzzPlan& p);
+[[nodiscard]] Json to_json(const apps::FuzzEngineOutcome& o);
+[[nodiscard]] Json fuzz_repro_to_json(const apps::FuzzResult& r);
+
+// Inverse of to_json(FuzzPlan). Returns nullopt (and sets *error) when a
+// required field is missing or mistyped — a truncated artifact must fail
+// loudly, not replay some other config.
+[[nodiscard]] std::optional<apps::FuzzPlan> fuzz_plan_from_json(
+    const Json& j, std::string* error = nullptr);
+
+// A parsed artifact: the plan to replay plus the verdict it recorded.
+struct FuzzRepro {
+  apps::FuzzPlan plan;
+  std::string verdict;
+};
+
+// Writes the artifact for `r` to `path` (and the journal, if captured, to
+// `path + ".journal.jsonl"`). Returns false and sets *error on I/O failure.
+bool write_fuzz_repro(const apps::FuzzResult& r, const std::string& path,
+                      std::string* error = nullptr);
+
+// Reads an artifact back. Returns nullopt (and sets *error) when the file
+// is unreadable, is not a v1 artifact, or its plan fails to parse.
+[[nodiscard]] std::optional<FuzzRepro> read_fuzz_repro(
+    const std::string& path, std::string* error = nullptr);
+
+}  // namespace sepo::obs

@@ -46,7 +46,12 @@ std::optional<gpusim::JournalEvent> journal_event_from_json(const Json& j) {
 bool write_journal_jsonl(const gpusim::EventJournal& journal,
                          const std::string& path, std::size_t max_events,
                          std::string* error) {
-  std::vector<gpusim::JournalEvent> events = journal.drain();
+  return write_journal_jsonl(journal.drain(), path, max_events, error);
+}
+
+bool write_journal_jsonl(const std::vector<gpusim::JournalEvent>& events,
+                         const std::string& path, std::size_t max_events,
+                         std::string* error) {
   // Keep the newest window: a flight recorder answers "what happened right
   // before the failure", so the tail matters, not the head.
   const std::size_t n = events.size();

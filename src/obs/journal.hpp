@@ -40,6 +40,12 @@ bool write_journal_jsonl(const gpusim::EventJournal& journal,
                          std::size_t max_events = 4096,
                          std::string* error = nullptr);
 
+// Same, for events already drained (e.g. carried inside a fuzz repro).
+bool write_journal_jsonl(const std::vector<gpusim::JournalEvent>& events,
+                         const std::string& path,
+                         std::size_t max_events = 4096,
+                         std::string* error = nullptr);
+
 // Reads a JSONL journal dump back; returns nullopt (and sets *error) when
 // the file cannot be opened or any line fails to parse as an event.
 [[nodiscard]] std::optional<std::vector<gpusim::JournalEvent>>

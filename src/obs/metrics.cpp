@@ -1,11 +1,20 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 
 namespace sepo::obs {
+
+bool nearly_equal(double a, double b, double rel_eps) noexcept {
+  if (a == b) return true;  // covers both-zero and exact matches
+  if (!std::isfinite(a) || !std::isfinite(b)) return false;
+  return std::fabs(a - b) <=
+         rel_eps * std::max(std::fabs(a), std::fabs(b));
+}
 
 Json to_json(const gpusim::StatsSnapshot& s) {
   Json j = Json::object();

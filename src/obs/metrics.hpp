@@ -79,6 +79,15 @@ inline constexpr int kMetricsSchemaVersion = 4;
 // Validated by `sepo_cli bench-check`, compared by `sepo_cli bench-diff`.
 inline constexpr int kBenchSchemaVersion = 1;
 
+// Relative-epsilon float equality for cross-platform metrics comparison.
+// Two v4 files produced from the same run on different platforms can differ
+// in the last couple of double bits (libm, FMA contraction, summation
+// order); treating those as drift makes `metrics-diff` cry wolf. Values
+// within `rel_eps` of the larger magnitude compare equal; exact equality
+// (including both zero) always does.
+[[nodiscard]] bool nearly_equal(double a, double b,
+                                double rel_eps = 1e-9) noexcept;
+
 [[nodiscard]] Json to_json(const gpusim::StatsSnapshot& s);
 [[nodiscard]] Json to_json(const gpusim::PcieSnapshot& p);
 [[nodiscard]] Json to_json(const gpusim::SerializationInputs& s);

@@ -113,6 +113,35 @@ TEST(BitmapTest, ZeroSizeIsFullAndEmpty) {
   EXPECT_EQ(b.first_unset_from(0), 0u);
 }
 
+// ISSUE 9 regression sweep: exhaustively exercise count() and
+// first_unset_from() at the non-multiple-of-64 sizes where the trailing
+// storage word has bits past num_bits. Those padding bits must never be
+// reported as unset (first_unset_from must return size(), not a padding
+// index) and must never inflate count().
+TEST(BitmapTest, TrailingWordSizesCountAndScanExactly) {
+  for (const std::size_t bits : {63u, 64u, 65u, 127u}) {
+    AtomicBitmap b(bits);
+    // Alternating pattern: set the even bits, then verify count and that
+    // every scan lands on the next odd (unset) index — never on padding.
+    for (std::size_t i = 0; i < bits; i += 2) b.set(i);
+    EXPECT_EQ(b.count(), (bits + 1) / 2) << "bits=" << bits;
+    for (std::size_t from = 0; from < bits; ++from) {
+      const std::size_t expect = from | 1;  // next odd index at or after from
+      EXPECT_EQ(b.first_unset_from(from), expect < bits ? expect : bits)
+          << "bits=" << bits << " from=" << from;
+    }
+    // Fill completely: the bitmap is full, count is exact, and every scan —
+    // including from the last word — reports size(), proving the padding
+    // bits of the trailing word are not visible as "unset work".
+    for (std::size_t i = 1; i < bits; i += 2) b.set(i);
+    EXPECT_EQ(b.count(), bits) << "bits=" << bits;
+    EXPECT_TRUE(b.all()) << "bits=" << bits;
+    for (std::size_t from = 0; from <= bits + 64; ++from)
+      EXPECT_EQ(b.first_unset_from(from), bits)
+          << "bits=" << bits << " from=" << from;
+  }
+}
+
 TEST(BitmapTest, ConcurrentSetsCountEachBitOnce) {
   constexpr std::size_t kBits = 4096;
   AtomicBitmap b(kBits);

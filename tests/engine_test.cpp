@@ -101,5 +101,47 @@ TEST(EngineCrossValidationTest, AllSupportingEnginesAgreeOnDigests) {
   }
 }
 
+// ISSUE 9 capacity sweep: the SEPO contract under memory pressure is
+// "postpone or decline, never answer wrong". With device memory at 0.5x,
+// 1x, and 4x the input footprint, every engine must either match the
+// baseline digest exactly or report a *typed* RunError — no raw exception
+// may escape Engine::run (this regressed before the run paths caught
+// DeviceOutOfMemory and driver stalls).
+TEST(EngineCrossValidationTest, CapacitySweepAgreesOrDeclinesTyped) {
+  constexpr std::size_t kInputBytes = 48u << 10;
+  for (const AppInfo* app : all_apps()) {
+    const std::string input = app->generate(kInputBytes, /*seed=*/21);
+    const Engine* base = baseline_engine(*app);
+    const RunResult ref = base->run(*app, input, {});
+    ASSERT_FALSE(ref.error) << app->key;
+    for (const double frac : {0.5, 1.0, 4.0}) {
+      EngineConfig cfg;
+      // Small bucket array so the static carve-out leaves the heap as the
+      // contended resource; 64 KiB cushion covers the statics themselves.
+      cfg.gpu.num_buckets = 1u << 10;
+      cfg.gpu.device_bytes =
+          (64u << 10) +
+          static_cast<std::size_t>(frac * static_cast<double>(kInputBytes));
+      for (const Engine* e : all_engines()) {
+        if (e == base || !e->supports(*app)) continue;
+        RunResult r;
+        ASSERT_NO_THROW(r = e->run(*app, input, cfg))
+            << app->key << "/" << e->name() << " frac=" << frac;
+        if (r.error) {
+          EXPECT_NE(r.error.kind, RunError::Kind::kNone)
+              << app->key << "/" << e->name();
+          EXPECT_STRNE(r.error.kind_name(), "none")
+              << app->key << "/" << e->name();
+          continue;  // a typed decline of service is a legal answer
+        }
+        EXPECT_EQ(r.checksum, ref.checksum)
+            << app->key << "/" << e->name() << " frac=" << frac;
+        EXPECT_EQ(r.keys, ref.keys)
+            << app->key << "/" << e->name() << " frac=" << frac;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sepo::apps

@@ -1,0 +1,258 @@
+// Tests for the differential fuzz harness (apps/fuzz.hpp) and its repro
+// artifact serialization (obs/fuzz_repro.hpp): plan-generation determinism,
+// differential execution verdicts, forced-corruption shrinking, and the
+// JSON round-trip that `sepo_cli fuzz --repro` depends on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "apps/fuzz.hpp"
+#include "obs/fuzz_repro.hpp"
+
+namespace sepo::apps {
+namespace {
+
+FuzzOptions small_options() {
+  FuzzOptions o;
+  o.seed = 1234;
+  o.runs = 4;
+  o.max_input_bytes = 32u << 10;  // keep unit-test plans small
+  return o;
+}
+
+bool plans_equal(const FuzzPlan& a, const FuzzPlan& b) {
+  return a.id == b.id && a.master_seed == b.master_seed && a.app == b.app &&
+         a.engine == b.engine && a.input_bytes == b.input_bytes &&
+         a.data_seed == b.data_seed && a.zipf_s == b.zipf_s &&
+         a.distinct_keys == b.distinct_keys &&
+         a.device_bytes == b.device_bytes && a.num_buckets == b.num_buckets &&
+         a.workers == b.workers && a.basic_halt_frac == b.basic_halt_frac &&
+         a.faults.seed == b.faults.seed &&
+         a.faults.h2d_rate == b.faults.h2d_rate &&
+         a.faults.d2h_rate == b.faults.d2h_rate &&
+         a.faults.remote_rate == b.faults.remote_rate &&
+         a.faults.kernel_abort_rate == b.faults.kernel_abort_rate &&
+         a.faults.pressure_rate == b.faults.pressure_rate &&
+         a.faults.pressure_frac == b.faults.pressure_frac &&
+         a.faults.pressure_hold_iterations == b.faults.pressure_hold_iterations &&
+         a.faults.max_retries == b.faults.max_retries &&
+         a.faults.backoff_base_s == b.faults.backoff_base_s &&
+         a.faults.backoff_cap_s == b.faults.backoff_cap_s &&
+         a.corrupt_digest_xor == b.corrupt_digest_xor;
+}
+
+TEST(FuzzPlanTest, SameSeedSameIndexYieldsIdenticalPlans) {
+  const FuzzRunner r1(small_options());
+  const FuzzRunner r2(small_options());
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    const FuzzPlan a = r1.plan_for(i);
+    const FuzzPlan b = r2.plan_for(i);
+    EXPECT_TRUE(plans_equal(a, b)) << "plan " << i << " diverged";
+    EXPECT_EQ(a.id, i);
+    EXPECT_EQ(a.master_seed, 1234u);
+    // Sanity on the sampled ranges the generator promises.
+    EXPECT_NE(find_app(a.app), nullptr) << a.app;
+    EXPECT_NE(find_engine(a.engine), nullptr) << a.engine;
+    EXPECT_GT(a.input_bytes, 0u);
+    EXPECT_LE(a.input_bytes, r1.options().max_input_bytes);
+    EXPECT_GE(a.workers, 1u);
+  }
+}
+
+TEST(FuzzPlanTest, DifferentSeedsYieldDifferentPlanStreams) {
+  FuzzOptions alt = small_options();
+  alt.seed = 99;
+  const FuzzRunner r1(small_options());
+  const FuzzRunner r2(alt);
+  int diverged = 0;
+  for (std::uint64_t i = 0; i < 16; ++i)
+    if (!plans_equal(r1.plan_for(i), r2.plan_for(i))) ++diverged;
+  EXPECT_GT(diverged, 8);  // streams are (overwhelmingly) independent
+}
+
+TEST(FuzzPlanTest, SeedZeroIsAValidDistinctSeed) {
+  FuzzOptions zero = small_options();
+  zero.seed = 0;
+  const FuzzRunner r0(zero);
+  const FuzzRunner r1(small_options());
+  EXPECT_EQ(r0.plan_for(0).master_seed, 0u);
+  int diverged = 0;
+  for (std::uint64_t i = 0; i < 16; ++i)
+    if (!plans_equal(r0.plan_for(i), r1.plan_for(i))) ++diverged;
+  EXPECT_GT(diverged, 8);
+}
+
+FuzzPlan simple_plan() {
+  FuzzPlan p;
+  p.id = 0;
+  p.master_seed = 7;
+  p.app = "pvc";
+  p.engine = "sepo-gpu";
+  p.input_bytes = 16u << 10;
+  p.data_seed = 3;
+  p.device_bytes = 4u << 20;  // roomy: no capacity pressure
+  p.num_buckets = 1u << 10;
+  return p;
+}
+
+TEST(FuzzExecuteTest, HealthyPlanAgreesWithBaseline) {
+  const FuzzRunner runner(small_options());
+  const FuzzResult r = runner.execute(simple_plan());
+  EXPECT_EQ(r.verdict, FuzzVerdict::kAgree) << to_string(r.verdict);
+  EXPECT_EQ(r.engine.status, FuzzStatus::kOk);
+  EXPECT_EQ(r.baseline.status, FuzzStatus::kOk);
+  EXPECT_EQ(r.engine.digest, r.baseline.digest);
+  EXPECT_EQ(r.engine.keys, r.baseline.keys);
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(FuzzExecuteTest, ExecutionIsDeterministicInThePlan) {
+  const FuzzRunner runner(small_options());
+  const FuzzPlan p = simple_plan();
+  const FuzzResult a = runner.execute(p);
+  const FuzzResult b = runner.execute(p);
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(a.engine.digest, b.engine.digest);
+  EXPECT_EQ(a.engine.keys, b.engine.keys);
+  EXPECT_EQ(a.engine.iterations, b.engine.iterations);
+}
+
+TEST(FuzzExecuteTest, TinyDeviceYieldsTypedDeclineNotWrongAnswer) {
+  const FuzzRunner runner(small_options());
+  FuzzPlan p = simple_plan();
+  p.device_bytes = 16u << 10;  // far below statics + one page
+  const FuzzResult r = runner.execute(p);
+  // Either the engine squeezed through (agree) or it declined with a typed
+  // error; a mismatch or raw exception would be a bug.
+  ASSERT_TRUE(r.verdict == FuzzVerdict::kAgree ||
+              r.verdict == FuzzVerdict::kEngineDeclined)
+      << to_string(r.verdict);
+  if (r.verdict == FuzzVerdict::kEngineDeclined) {
+    EXPECT_EQ(r.engine.status, FuzzStatus::kTypedError)
+        << r.engine.error_kind << ": " << r.engine.message;
+    EXPECT_FALSE(r.engine.error_kind.empty());
+  }
+  EXPECT_FALSE(r.failed());  // declines are not failures
+}
+
+TEST(FuzzShrinkTest, ForcedCorruptionShrinksToMinimalFailingPlan) {
+  const FuzzRunner runner(small_options());
+  FuzzPlan p = simple_plan();
+  p.input_bytes = 128u << 10;
+  p.workers = 4;
+  p.zipf_s = 1.1;
+  p.distinct_keys = 500;
+  p.faults.h2d_rate = 0.01;
+  p.faults.max_retries = 8;
+  p.corrupt_digest_xor = 0xdeadbeef;  // deterministic forced mismatch
+  const FuzzResult failing = runner.execute(p);
+  ASSERT_EQ(failing.verdict, FuzzVerdict::kDigestMismatch);
+
+  const FuzzResult shrunk = runner.shrink(failing);
+  // Shrinking must preserve the verdict...
+  EXPECT_EQ(shrunk.verdict, FuzzVerdict::kDigestMismatch);
+  // ...while reducing every dimension the failure doesn't depend on.
+  EXPECT_LE(shrunk.plan.input_bytes, 8u << 10);
+  EXPECT_EQ(shrunk.plan.workers, 1u);
+  EXPECT_EQ(shrunk.plan.zipf_s, 0.0);
+  EXPECT_EQ(shrunk.plan.faults.h2d_rate, 0.0);
+  // The corruption hook itself is what the failure depends on, so it stays.
+  EXPECT_EQ(shrunk.plan.corrupt_digest_xor, 0xdeadbeefu);
+  // And the shrunk plan must still replay to the same failure.
+  const FuzzResult replay = runner.execute(shrunk.plan);
+  EXPECT_EQ(replay.verdict, FuzzVerdict::kDigestMismatch);
+  EXPECT_EQ(replay.engine.digest, shrunk.engine.digest);
+}
+
+TEST(FuzzRunTest, SummaryAccountsForEveryPlan) {
+  FuzzOptions o = small_options();
+  o.runs = 6;
+  std::uint64_t observed = 0;
+  o.observer = [&observed](const FuzzResult&) { ++observed; };
+  const FuzzRunner runner(o);
+  const FuzzRunner::Summary s = runner.run();
+  EXPECT_EQ(s.executed, 6u);
+  EXPECT_EQ(observed, 6u);
+  EXPECT_EQ(s.agreed + s.declined + s.failures.size(), s.executed);
+  EXPECT_TRUE(s.failures.empty());  // no corruption hook -> engines agree
+  EXPECT_FALSE(s.hit_time_budget);
+}
+
+TEST(FuzzReproTest, PlanJsonRoundTripsFieldExactly) {
+  FuzzPlan p = simple_plan();
+  p.id = 17;
+  p.master_seed = 0;  // seed 0 must survive the round trip
+  p.zipf_s = 1.0625;  // exactly representable
+  p.distinct_keys = 321;
+  p.workers = 3;
+  p.basic_halt_frac = 0.25;
+  p.faults.seed = 99;
+  p.faults.h2d_rate = 0.015625;
+  p.faults.pressure_rate = 0.03125;
+  p.faults.pressure_frac = 0.5;
+  p.faults.pressure_hold_iterations = 2;
+  p.faults.max_retries = 5;
+  p.faults.backoff_base_s = 0.001;
+  p.faults.backoff_cap_s = 0.25;
+  p.corrupt_digest_xor = 0xfeedface12345678ULL;
+
+  std::string err;
+  const auto back = obs::fuzz_plan_from_json(obs::to_json(p), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_TRUE(plans_equal(p, *back));
+}
+
+TEST(FuzzReproTest, PlanParseRejectsMissingFields) {
+  obs::Json j = obs::to_json(simple_plan());
+  j.set("engine", obs::Json());  // null out a required field
+  std::string err;
+  EXPECT_FALSE(obs::fuzz_plan_from_json(j, &err).has_value());
+  EXPECT_NE(err.find("engine"), std::string::npos) << err;
+}
+
+TEST(FuzzReproTest, ArtifactWriteReadReplayReproducesVerdict) {
+  const FuzzRunner runner(small_options());
+  FuzzPlan p = simple_plan();
+  p.corrupt_digest_xor = 0x1234;
+  const FuzzResult failing = runner.execute(p);
+  ASSERT_EQ(failing.verdict, FuzzVerdict::kDigestMismatch);
+
+  const std::string path =
+      ::testing::TempDir() + "fuzz_test_repro_artifact.json";
+  std::string err;
+  ASSERT_TRUE(obs::write_fuzz_repro(failing, path, &err)) << err;
+
+  const auto repro = obs::read_fuzz_repro(path, &err);
+  ASSERT_TRUE(repro.has_value()) << err;
+  EXPECT_EQ(repro->verdict, std::string(to_string(failing.verdict)));
+  EXPECT_TRUE(plans_equal(repro->plan, failing.plan));
+
+  const FuzzResult replay = runner.execute(repro->plan);
+  EXPECT_EQ(replay.verdict, failing.verdict);
+  EXPECT_EQ(replay.engine.digest, failing.engine.digest);
+  EXPECT_EQ(replay.baseline.digest, failing.baseline.digest);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzReproTest, ReadRejectsGarbageAndMissingFiles) {
+  std::string err;
+  EXPECT_FALSE(
+      obs::read_fuzz_repro("/nonexistent/fuzz_repro.json", &err).has_value());
+  EXPECT_FALSE(err.empty());
+
+  const std::string path = ::testing::TempDir() + "fuzz_test_garbage.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"fuzz_repro_version\": 99}\n", f);
+    std::fclose(f);
+  }
+  err.clear();
+  EXPECT_FALSE(obs::read_fuzz_repro(path, &err).has_value());
+  EXPECT_FALSE(err.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sepo::apps

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -82,6 +83,37 @@ TEST(JsonTest, RejectsMalformedInput) {
   EXPECT_FALSE(Json::parse("\"unterminated", &err).has_value());
   EXPECT_FALSE(Json::parse("{\"a\": 1} trailing", &err).has_value());
   EXPECT_FALSE(err.empty());
+}
+
+// ---- nearly_equal: the metrics-diff float comparison discipline ----
+
+TEST(NearlyEqualTest, ExactAndRelativeMatches) {
+  EXPECT_TRUE(nearly_equal(0.0, 0.0));
+  EXPECT_TRUE(nearly_equal(1.5, 1.5));
+  EXPECT_TRUE(nearly_equal(-3.25, -3.25));
+  // A few ULP of drift at any magnitude stays within the default 1e-9.
+  EXPECT_TRUE(nearly_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(nearly_equal(1e12, 1e12 * (1.0 + 1e-12)));
+  EXPECT_TRUE(nearly_equal(1e-12, 1e-12 * (1.0 + 1e-12)));
+}
+
+TEST(NearlyEqualTest, RealDifferencesAreDetected) {
+  EXPECT_FALSE(nearly_equal(1.0, 1.0001));
+  EXPECT_FALSE(nearly_equal(1e12, 1.0001e12));  // relative, not absolute
+  EXPECT_FALSE(nearly_equal(0.0, 1e-300));      // zero only equals zero
+  EXPECT_FALSE(nearly_equal(1.0, -1.0));
+}
+
+TEST(NearlyEqualTest, CustomEpsilonAndNonFinite) {
+  EXPECT_TRUE(nearly_equal(100.0, 101.0, 0.02));
+  EXPECT_FALSE(nearly_equal(100.0, 103.0, 0.02));
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(nearly_equal(inf, inf));  // a == b short-circuit
+  EXPECT_FALSE(nearly_equal(inf, -inf));
+  EXPECT_FALSE(nearly_equal(inf, 1.0));
+  EXPECT_FALSE(nearly_equal(nan, nan));
+  EXPECT_FALSE(nearly_equal(nan, 0.0));
 }
 
 // ---- metrics schema over a real run ----

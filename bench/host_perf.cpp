@@ -20,6 +20,13 @@
 //                          the worker's ring shard
 //   empty_dispatch         per-item scheduling overhead alone (devirtualized
 //                          launch of a no-op kernel)
+//   insert_scalar_zipf     SEPO table inserts, scalar path, Word-Count-shaped
+//                          Zipf(1.05) keys (hot keys hammer few bucket locks)
+//   insert_batched_zipf    the same records through the batched insert
+//                          pipeline (per-worker CombineBuffers, DESIGN.md
+//                          §5d); digest cross-checked against scalar
+//   insert_*_uniform       the same pair under uniform keys (the low-reuse
+//                          regime where batching helps least)
 //   fig6_pvc_gpu           an end-to-end Page View Count SEPO-GPU run
 //
 // and writes BENCH_host.json (obs::kBenchSchemaVersion) when --metrics-out
@@ -34,6 +41,7 @@
 //
 //   host_perf [--tiny] [--workers N] [--reps N] [--metrics-out=FILE]
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -43,10 +51,16 @@
 #include <string>
 #include <vector>
 
+#include <cmath>
+#include <span>
+
 #include "apps/datagen.hpp"
 #include "apps/standalone_app.hpp"
 #include "common/table_printer.hpp"
+#include "core/hash_table.hpp"
 #include "gpusim/counters.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/exec_context.hpp"
 #include "gpusim/journal.hpp"
 #include "gpusim/launch.hpp"
 #include "gpusim/thread_pool.hpp"
@@ -149,11 +163,137 @@ void run_journal_path(ThreadPool& pool, RunStats& stats, EventJournal* j,
          {.grid_threads = grid});
 }
 
+// Precomputed key schedule for the insert pair: `order[i]` indexes `keys`.
+// Zipf(s) over the key set via an inverted CDF, sampled with a splitmix of
+// the item index — deterministic, threading-independent, built before any
+// timer starts.
+std::vector<std::uint32_t> key_schedule(std::size_t items, std::size_t distinct,
+                                        double zipf_s, std::uint64_t seed) {
+  std::vector<double> cdf(distinct);
+  double total = 0;
+  for (std::size_t k = 0; k < distinct; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  std::vector<std::uint32_t> order(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    std::uint64_t x = (i + seed) * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    const double u =
+        static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    order[i] = static_cast<std::uint32_t>(it - cdf.begin());
+  }
+  return order;
+}
+
+// One timed SEPO-table insert pass: fresh device/table per rep (tables are
+// not resettable), only the launch — where every insert and every
+// CombineBuffer drain happens — inside the timer. Returns the finalized
+// digest so the caller can cross-check scalar vs batched.
+struct InsertRun {
+  double wall_seconds = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t keys = 0;
+};
+
+InsertRun run_insert_pass(std::size_t workers,
+                          const std::vector<std::string>& keys,
+                          const std::vector<std::uint32_t>& order,
+                          std::uint32_t batch_capacity) {
+  Device dev(16u << 20);
+  ThreadPool pool(workers);
+  RunStats stats;
+  ExecContext ctx(dev, pool, stats);
+  core::HashTableConfig tcfg;
+  tcfg.org = core::Organization::kCombining;
+  tcfg.combiner = core::combine_sum_u64;
+  tcfg.combiner_assoc_comm = true;
+  tcfg.batch_insert_capacity = batch_capacity;
+  // Bucket array sized so chains average ~32 entries: the deep-chain,
+  // larger-than-memory regime the SEPO table exists for (the paper keeps
+  // the table bigger than device memory, so the bucket array is starved
+  // relative to the key population). Here the scalar path pays a long
+  // probe per record — hot Zipf keys sit at the chain tail because §III-B
+  // prepends at the head — while the batched drain probes each distinct
+  // key once per drain and mirrors repeat probes arithmetically.
+  tcfg.num_buckets = 256;
+  tcfg.buckets_per_group = 64;  // keep a few allocation groups
+  core::SepoHashTable ht(ctx, tcfg);
+
+  const std::uint64_t one = 1;
+  const auto value = std::as_bytes(std::span{&one, 1});
+  const auto t0 = std::chrono::steady_clock::now();
+  ctx.launch(
+      order.size(),
+      [&](std::size_t i) { (void)ht.insert(keys[order[i]], value); },
+      {.grid_threads = 4096});
+  InsertRun r;
+  r.wall_seconds = now_minus(t0);
+  const core::HostTable table = ht.finalize();
+  r.keys = table.entry_count();
+  r.digest = apps::digest_kv(table);
+  return r;
+}
+
+// The scalar/batched pair under one key distribution. Reps are interleaved
+// (like the journal pair) so drifting machine load biases both sides
+// equally; the digests and key counts must agree or the binary exits 1.
+void run_insert_pair(std::vector<BenchResult>& results, const char* dist,
+                     std::size_t workers, int reps, std::size_t items,
+                     std::size_t distinct, double zipf_s) {
+  std::vector<std::string> keys(distinct);
+  for (std::size_t k = 0; k < distinct; ++k)
+    keys[k] = "key" + std::to_string(k) + "x";
+  const std::vector<std::uint32_t> order =
+      key_schedule(items, distinct, zipf_s, 7);
+
+  BenchResult scalar, batched;
+  scalar.name = std::string("insert_scalar_") + dist;
+  batched.name = std::string("insert_batched_") + dist;
+  scalar.items = batched.items = items;
+  scalar.reps = batched.reps = static_cast<std::uint64_t>(reps);
+  InsertRun s{}, b{};
+  for (int rep = 0; rep < reps; ++rep) {
+    s = run_insert_pass(workers, keys, order, 0);
+    if (rep == 0 || s.wall_seconds < scalar.wall_seconds)
+      scalar.wall_seconds = s.wall_seconds;
+    // Batched capacity sized to the per-worker record share: every record
+    // is buffered once and the pipeline drains at kernel exit, the
+    // amortization-optimal setting (each distinct key's chain is probed
+    // once per worker). Any capacity works correctly — smaller ones just
+    // drain (and re-probe) more often.
+    const auto batch_cap = static_cast<std::uint32_t>(std::min<std::size_t>(
+        1u << 20, std::bit_ceil(items / std::max<std::size_t>(1, workers))));
+    b = run_insert_pass(workers, keys, order, batch_cap);
+    if (rep == 0 || b.wall_seconds < batched.wall_seconds)
+      batched.wall_seconds = b.wall_seconds;
+    if (s.digest != b.digest || s.keys != b.keys) {
+      std::fprintf(stderr,
+                   "FATAL: batched insert result diverges from scalar "
+                   "(%s: digest %llx vs %llx, keys %llu vs %llu)\n",
+                   dist, static_cast<unsigned long long>(s.digest),
+                   static_cast<unsigned long long>(b.digest),
+                   static_cast<unsigned long long>(s.keys),
+                   static_cast<unsigned long long>(b.keys));
+      std::exit(1);
+    }
+  }
+  scalar.ops_per_sec = static_cast<double>(items) / scalar.wall_seconds;
+  batched.ops_per_sec = static_cast<double>(items) / batched.wall_seconds;
+  results.push_back(scalar);
+  results.push_back(batched);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
   const std::size_t workers = apps::pool_workers_from_args(argc, argv);
+  const std::uint32_t fig6_batch = apps::batch_insert_from_args(argc, argv);
   bool tiny = false;
   int reps = 3;
   for (int i = 1; i < argc; ++i) {
@@ -249,6 +389,21 @@ int main(int argc, char** argv) {
            {.grid_threads = grid});
   }));
 
+  // Batched-insert pair (DESIGN.md §5d): the same records through the scalar
+  // and the batched SEPO-table insert path, under the Word-Count-shaped
+  // Zipf(1.05) skew the pipeline targets and under uniform keys as the
+  // low-reuse control. bench-check gates the zipf speedup at 2x (full runs).
+  const std::size_t insert_items = tiny ? 150'000 : 1'000'000;
+  run_insert_pair(results, "zipf", workers, reps, insert_items,
+                  /*distinct=*/8192, /*zipf_s=*/1.05);
+  run_insert_pair(results, "uniform", workers, reps, insert_items,
+                  /*distinct=*/8192, /*zipf_s=*/0.0);
+  const std::size_t zipf_at = results.size() - 4;
+  const double insert_speedup_zipf =
+      results[zipf_at].wall_seconds / results[zipf_at + 1].wall_seconds;
+  const double insert_speedup_uniform =
+      results[zipf_at + 2].wall_seconds / results[zipf_at + 3].wall_seconds;
+
   // End-to-end anchor: one Page View Count SEPO-GPU run, the fig6 workload.
   {
     apps::PageViewCountApp pvc;
@@ -257,6 +412,7 @@ int main(int argc, char** argv) {
     const std::string input = pvc.generate(bytes, 1001);
     apps::GpuConfig gcfg;
     gcfg.pool_workers = workers;
+    gcfg.batch_insert = fig6_batch;
     results.push_back(bench("fig6_pvc_gpu", bytes, reps, [&] {
       const apps::RunResult r = pvc.run_gpu(input, gcfg);
       if (r.error || r.checksum == 0) {
@@ -282,6 +438,9 @@ int main(int argc, char** argv) {
               journal_overhead_pct,
               static_cast<unsigned long long>(journal.events_recorded()),
               static_cast<unsigned long long>(journal.events_overwritten()));
+  std::printf("batched-insert speedup (batched vs scalar): %.2fx zipf, "
+              "%.2fx uniform\n",
+              insert_speedup_zipf, insert_speedup_uniform);
 
   if (out.metrics_enabled()) {
     obs::Json root = obs::Json::object();
@@ -291,6 +450,8 @@ int main(int argc, char** argv) {
     root.set("tiny", tiny);
     root.set("counter_bump_speedup", speedup);
     root.set("journal_overhead_pct", journal_overhead_pct);
+    root.set("insert_batched_speedup_zipf", insert_speedup_zipf);
+    root.set("insert_batched_speedup_uniform", insert_speedup_uniform);
     obs::Json benches = obs::Json::array();
     for (const BenchResult& r : results) {
       obs::Json b = obs::Json::object();

@@ -7,14 +7,22 @@
 // device page the moment the page is acquired — every byte allocated from
 // the page therefore has a known host address long before the page is
 // actually copied back.
+//
+// Concurrency: lock-free per-slot publication. The previous design kept the
+// slot table in a std::vector guarded by a global mutex — but only the
+// writer took it, so a concurrent reader could observe the vector
+// mid-resize; and under the batched insert pipeline several drains can
+// flush-and-read in flight at once. Now the slot table is a fixed two-level
+// directory of atomics: chunks are CAS-published, block pointers are
+// release-stored exactly once per slot, and readers acquire-load both
+// levels. Nothing is ever moved or freed before the heap dies, so a
+// published pointer stays valid for the heap's lifetime.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <vector>
 
 #include "alloc/page_pool.hpp"
 
@@ -22,7 +30,12 @@ namespace sepo::alloc {
 
 class HostHeap {
  public:
-  explicit HostHeap(std::size_t page_size) : page_size_(page_size) {}
+  explicit HostHeap(std::size_t page_size) : page_size_(page_size) {
+    for (auto& c : dir_) c.store(nullptr, std::memory_order_relaxed);
+  }
+  ~HostHeap();
+  HostHeap(const HostHeap&) = delete;
+  HostHeap& operator=(const HostHeap&) = delete;
 
   [[nodiscard]] std::size_t page_size() const noexcept { return page_size_; }
 
@@ -37,8 +50,12 @@ class HostHeap {
     return slot * page_size_ + off;
   }
 
-  // Copies `bytes` bytes of page content into the storage of `slot`.
-  // Called once per (slot) at flush time; allocates the backing block.
+  // Copies `bytes` bytes of page content into the storage of `slot`,
+  // allocating and release-publishing the backing block on first store.
+  // A re-store (the device page was recycled and flushed again) reuses the
+  // block in place: the published pointer never changes. Thread-safe
+  // against readers of *other* slots and concurrent stores of other slots;
+  // stores to the same slot are serialized by the flush protocol.
   void store_page(std::uint64_t slot, const std::byte* src, std::size_t bytes);
 
   // Raw access to the byte at host address `p`. Valid only after the
@@ -48,8 +65,9 @@ class HostHeap {
     assert(p != kHostNull);
     const std::uint64_t slot = p / page_size_;
     const std::uint64_t off = p % page_size_;
-    assert(slot - 1 < blocks_.size() && blocks_[slot - 1]);
-    return reinterpret_cast<const T*>(blocks_[slot - 1].get() + off);
+    const std::byte* block = slot_block(slot);
+    assert(block != nullptr && "slot read before store_page published it");
+    return reinterpret_cast<const T*>(block + off);
   }
 
   template <typename T = std::byte>
@@ -58,16 +76,12 @@ class HostHeap {
   }
 
   [[nodiscard]] bool slot_stored(std::uint64_t slot) const noexcept {
-    return slot >= 1 && slot - 1 < blocks_.size() &&
-           blocks_[slot - 1] != nullptr;
+    return slot >= 1 && slot_block(slot) != nullptr;
   }
 
   // Total bytes of host memory holding flushed pages.
   [[nodiscard]] std::size_t stored_bytes() const noexcept {
-    std::size_t n = 0;
-    for (const auto& b : blocks_)
-      if (b) n += page_size_;
-    return n;
+    return stored_bytes_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::uint64_t reserved_slots() const noexcept {
@@ -75,10 +89,31 @@ class HostHeap {
   }
 
  private:
+  // Two-level slot directory: dir_[slot_chunk] -> array of kChunkSlots
+  // atomic block pointers. 8Ki chunks x 1Ki slots = 8.4M mirror slots; every
+  // stored slot costs a real page of host RAM, so any run near this ceiling
+  // would have exhausted memory long before. The directory itself is a 64 KiB
+  // inline member — cheap enough for stack- and member-embedded heaps.
+  static constexpr std::size_t kChunkSlots = 1024;
+  static constexpr std::size_t kMaxChunks = 8 * 1024;
+  using Chunk = std::atomic<std::byte*>;
+
+  // Acquire-loads the block pointer for `slot` (null = not stored yet).
+  [[nodiscard]] const std::byte* slot_block(std::uint64_t slot) const noexcept {
+    const std::uint64_t id = slot - 1;
+    const std::uint64_t c = id / kChunkSlots;
+    assert(c < kMaxChunks);
+    const Chunk* chunk = dir_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) return nullptr;
+    return chunk[id % kChunkSlots].load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] Chunk* ensure_chunk(std::uint64_t c);
+
   std::size_t page_size_;
   std::atomic<std::uint64_t> next_slot_{0};
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<std::byte[]>> blocks_;  // index = slot-1
+  std::atomic<std::size_t> stored_bytes_{0};
+  mutable std::atomic<Chunk*> dir_[kMaxChunks];
 };
 
 }  // namespace sepo::alloc

@@ -33,6 +33,14 @@ class StandaloneApp {
   [[nodiscard]] virtual core::CombineFn combiner() const noexcept {
     return nullptr;
   }
+  // Declares combiner() associative AND commutative, which licenses the
+  // batched insert pipeline to pre-apply it inside per-worker
+  // CombineBuffers (DESIGN.md §5d). Integer sum / OR / max qualify; f64
+  // sum does not (rounding is order-sensitive and digests must stay
+  // bit-identical to the scalar path).
+  [[nodiscard]] virtual bool combiner_assoc_comm() const noexcept {
+    return false;
+  }
   // True when the record parser takes long data-dependent branch paths that
   // serialize GPU warps (the paper's Inverted Index: "a long switch-case
   // block in its core logic, which causes a high degree of thread
@@ -71,6 +79,9 @@ class PageViewCountApp final : public StandaloneApp {
   }
   [[nodiscard]] core::CombineFn combiner() const noexcept override {
     return core::combine_sum_u64;
+  }
+  [[nodiscard]] bool combiner_assoc_comm() const noexcept override {
+    return true;  // u64 sum
   }
   [[nodiscard]] std::string generate(std::size_t bytes,
                                      std::uint64_t seed) const override;
@@ -113,6 +124,9 @@ class DnaAssemblyApp final : public StandaloneApp {
     // <k-mer, edges>: edge sets merge by OR (Meraculous-style extension
     // bitmask: bits 0-3 = predecessor base, bits 4-7 = successor base).
     return core::combine_or_u32;
+  }
+  [[nodiscard]] bool combiner_assoc_comm() const noexcept override {
+    return true;  // bitwise OR
   }
   [[nodiscard]] std::string generate(std::size_t bytes,
                                      std::uint64_t seed) const override;

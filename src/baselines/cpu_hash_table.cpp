@@ -45,7 +45,7 @@ std::size_t CpuHashTable::allocated_bytes() const noexcept {
 }
 
 std::uint32_t CpuHashTable::bucket_of(std::string_view key) const noexcept {
-  return static_cast<std::uint32_t>(hash_key(key)) & bucket_mask_;
+  return bucket_of(hash_key(key));
 }
 
 void CpuHashTable::insert(std::uint32_t tid, std::string_view key,

@@ -144,6 +144,9 @@ class CpuHashTable {
 
   void* arena_alloc(std::uint32_t tid, std::size_t bytes);
 
+  [[nodiscard]] std::uint32_t bucket_of(std::uint64_t hash) const noexcept {
+    return static_cast<std::uint32_t>(hash) & bucket_mask_;
+  }
   [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
 
   void insert_basic(std::uint32_t tid, std::uint32_t b, std::string_view key,

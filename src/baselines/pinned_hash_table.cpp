@@ -38,7 +38,7 @@ void* PinnedHashTable::pinned_alloc(std::size_t bytes) {
 }
 
 std::uint32_t PinnedHashTable::bucket_of(std::string_view key) const noexcept {
-  return static_cast<std::uint32_t>(hash_key(key)) & bucket_mask_;
+  return bucket_of(hash_key(key));
 }
 
 void PinnedHashTable::insert(std::string_view key,

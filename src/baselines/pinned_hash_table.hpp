@@ -124,6 +124,9 @@ class PinnedHashTable {
   };
 
   void* pinned_alloc(std::size_t bytes);
+  [[nodiscard]] std::uint32_t bucket_of(std::uint64_t hash) const noexcept {
+    return static_cast<std::uint32_t>(hash) & bucket_mask_;
+  }
   [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
 
   void insert_basic(std::uint32_t b, std::string_view key,

@@ -56,31 +56,31 @@ BucketChainStore::BucketChainStore(gpusim::ExecContext& ctx,
 }
 
 std::uint32_t BucketChainStore::bucket_of(std::string_view key) const noexcept {
-  return static_cast<std::uint32_t>(hash_key(key)) & bucket_mask_;
+  return bucket_of(hash_key(key));
 }
 
-DevPtr BucketChainStore::find_in_chain(std::uint32_t b,
-                                       std::string_view key) const {
+DevPtr BucketChainStore::find_in_chain(std::uint32_t b, std::string_view key,
+                                       ProbeCost& cost) const {
   for (DevPtr p = buckets_[b].head_dev.load(std::memory_order_relaxed);
        p != gpusim::kDevNull;) {
-    stats_.add_chain_links();
+    ++cost.links;
     const auto* e = dev_.ptr<KvEntry>(p);
-    stats_.add_key_compare_bytes(
-        std::min<std::uint64_t>(e->key_len, key.size()));
+    const auto cmp = std::min<std::uint64_t>(e->key_len, key.size());
+    cost.bytes += cmp;
     if (e->key() == key) return p;
     p = e->next_dev;
   }
   return gpusim::kDevNull;
 }
 
-DevPtr BucketChainStore::find_key_entry(std::uint32_t b,
-                                        std::string_view key) const {
+DevPtr BucketChainStore::find_key_entry(std::uint32_t b, std::string_view key,
+                                        ProbeCost& cost) const {
   for (DevPtr p = buckets_[b].head_dev.load(std::memory_order_relaxed);
        p != gpusim::kDevNull;) {
-    stats_.add_chain_links();
+    ++cost.links;
     const auto* e = dev_.ptr<KeyEntry>(p);
-    stats_.add_key_compare_bytes(
-        std::min<std::uint64_t>(e->key_len, key.size()));
+    const auto cmp = std::min<std::uint64_t>(e->key_len, key.size());
+    cost.bytes += cmp;
     if (e->key() == key) return p;
     p = e->next_dev;
   }

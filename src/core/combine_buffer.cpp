@@ -1,0 +1,112 @@
+#include "core/combine_buffer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace sepo::core {
+
+CombineBuffer::CombineBuffer(Organization org, std::uint32_t capacity,
+                             bool precombine, CombineFn combiner)
+    : org_(org),
+      capacity_(std::max(1u, capacity)),
+      precombine_(precombine && org == Organization::kCombining &&
+                  combiner != nullptr),
+      combiner_(combiner) {
+  if (org_ != Organization::kBasic) {
+    // 2x capacity, pow2: load factor stays <= 0.5 even when every record is
+    // a distinct key, keeping linear-probe runs short.
+    const std::uint32_t want = std::max(4u, capacity_ * 2);
+    const std::uint32_t size = std::bit_ceil(want);
+    index_.assign(size, 0);
+    index_mask_ = size - 1;
+  }
+  slots_.reserve(capacity_);
+  log_.reserve(capacity_);
+  arena_.resize(static_cast<std::size_t>(capacity_) * 32);
+}
+
+std::uint32_t CombineBuffer::push_arena(const void* data, std::size_t n) {
+  // Manual bump allocation over a pre-sized vector: resize() on the hot
+  // add path costs a non-inlined value-initializing append; a bump plus
+  // memcpy is branch-plus-copy. The vector only ever grows.
+  if (arena_used_ + n > arena_.size())
+    arena_.resize(std::max(arena_.size() * 2, arena_used_ + n));
+  const std::uint32_t off = static_cast<std::uint32_t>(arena_used_);
+  if (n) std::memcpy(arena_.data() + off, data, n);
+  arena_used_ += n;
+  return off;
+}
+
+bool CombineBuffer::add(std::uint32_t bucket, std::uint64_t hash,
+                        std::string_view key,
+                        std::span<const std::byte> value) {
+  if (log_.size() >= capacity_) return false;
+
+  std::uint32_t slot_id;
+  if (org_ == Organization::kBasic) {
+    // No dedup: basic keeps duplicate keys as separate entries, so each
+    // record is its own slot and the drain only pre-groups by bucket.
+    slot_id = static_cast<std::uint32_t>(slots_.size());
+    Slot s;
+    s.hash = hash;
+    s.bucket = bucket;
+    s.key_len = static_cast<std::uint32_t>(key.size());
+    s.key_off = push_arena(key.data(), key.size());
+    slots_.push_back(s);
+  } else {
+    std::uint32_t pos = static_cast<std::uint32_t>(hash) & index_mask_;
+    std::uint32_t found = 0;  // slot id + 1
+    while (index_[pos] != 0) {
+      const Slot& s = slots_[index_[pos] - 1];
+      if (s.hash == hash && slot_key(s) == key) {
+        found = index_[pos];
+        break;
+      }
+      pos = (pos + 1) & index_mask_;
+    }
+    if (found != 0) {
+      slot_id = found - 1;
+      Slot& s = slots_[slot_id];
+      ++stats_.scratch_hits;
+      if (precombine_) {
+        combiner_(arena_.data() + s.val_off, value.data(),
+                  std::min<std::uint32_t>(
+                      s.val_len, static_cast<std::uint32_t>(value.size())));
+        ++stats_.precombined_records;
+      }
+    } else {
+      if (slots_.size() >= capacity_) return false;
+      slot_id = static_cast<std::uint32_t>(slots_.size());
+      Slot s;
+      s.hash = hash;
+      s.bucket = bucket;
+      s.key_len = static_cast<std::uint32_t>(key.size());
+      s.key_off = push_arena(key.data(), key.size());
+      if (precombine_) {
+        s.val_len = static_cast<std::uint32_t>(value.size());
+        s.val_off = push_arena(value.data(), value.size());
+      }
+      slots_.push_back(s);
+      index_[pos] = slot_id + 1;
+    }
+  }
+
+  Slot& s = slots_[slot_id];
+  ++s.hits;
+  LogEntry e;
+  e.slot = slot_id;
+  e.val_len = static_cast<std::uint32_t>(value.size());
+  e.val_off = push_arena(value.data(), value.size());
+  log_.push_back(e);
+  return true;
+}
+
+void CombineBuffer::clear() noexcept {
+  if (!index_.empty()) std::fill(index_.begin(), index_.end(), 0u);
+  slots_.clear();
+  log_.clear();
+  arena_used_ = 0;
+}
+
+}  // namespace sepo::core

@@ -8,7 +8,7 @@
 namespace sepo::core {
 
 std::uint32_t HostTable::bucket_of(std::string_view key) const noexcept {
-  return static_cast<std::uint32_t>(hash_key(key)) & (heads_.size() - 1);
+  return bucket_of(hash_key(key));
 }
 
 void HostTable::canonicalize() {

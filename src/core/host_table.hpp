@@ -99,9 +99,17 @@ class HostTable {
   }
   [[nodiscard]] const alloc::HostHeap& heap() const noexcept { return heap_; }
 
+  // Bucket mapping, public so phase-2 engines share the table's own hash →
+  // bucket function instead of re-deriving it. The memoized overload takes
+  // a precomputed hash_key(key) value.
+  [[nodiscard]] std::uint32_t bucket_of(std::uint64_t hash) const noexcept {
+    return static_cast<std::uint32_t>(hash) &
+           static_cast<std::uint32_t>(heads_.size() - 1);
+  }
+  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
+
  private:
   void canonicalize();
-  [[nodiscard]] std::uint32_t bucket_of(std::string_view key) const noexcept;
   [[nodiscard]] std::vector<std::span<const std::byte>> values_of(
       const KeyEntry& ke) const;
 

@@ -140,13 +140,14 @@ LookupBatchResult SepoLookupEngine::run_batch(
   LookupBatchResult result;
   result.segments = segment_count();
 
-  const std::uint32_t mask =
-      static_cast<std::uint32_t>(table_.bucket_count() - 1);
   std::vector<std::uint32_t> query_bucket(queries.size());
   std::vector<std::atomic<std::int64_t>> pending(segments_.size());
   for (auto& p : pending) p.store(0, std::memory_order_relaxed);
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    query_bucket[i] = static_cast<std::uint32_t>(hash_key(queries[i])) & mask;
+    // One hash per query for the whole batch; the bucket is memoized here
+    // and reused across every segment iteration (the table owns the hash →
+    // bucket mapping — no local re-derivation to drift from it).
+    query_bucket[i] = table_.bucket_of(hash_key(queries[i]));
     pending[segment_of_bucket_[query_bucket[i]]].fetch_add(
         1, std::memory_order_relaxed);
   }

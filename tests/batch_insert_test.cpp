@@ -1,0 +1,306 @@
+// Batched insert pipeline (DESIGN.md §5d): the batched path must be
+// observationally identical to the scalar path — same finished table
+// (digest + key counts) and, on deterministic single-worker runs, the same
+// simulated counter values bit for bit. Plus unit coverage for the
+// CombineBuffer scratch itself and the lock-free HostHeap publication.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "apps/harness.hpp"
+#include "common/random.hpp"
+#include "core/sepo_driver.hpp"
+#include "obs/metrics.hpp"
+#include "test_util.hpp"
+
+namespace sepo::core {
+namespace {
+
+using test::Rig;
+
+// Key schedules: `distinct` possible keys, drawn uniformly or Zipf(theta).
+std::string schedule_input(std::size_t records, std::size_t distinct,
+                           bool zipf, std::uint64_t seed) {
+  std::vector<double> cdf;
+  if (zipf) {
+    cdf.resize(distinct);
+    double sum = 0;
+    for (std::size_t i = 0; i < distinct; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), 0.99);
+      cdf[i] = sum;
+    }
+    for (double& c : cdf) c /= sum;
+  }
+  Rng rng(seed);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < records; ++i) {
+    std::size_t k;
+    if (zipf) {
+      const double u =
+          static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+      k = static_cast<std::size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    } else {
+      k = static_cast<std::size_t>(rng.below(distinct));
+    }
+    os << "key/" << k << '\n';
+  }
+  return os.str();
+}
+
+struct RunOut {
+  std::uint64_t digest = 0;
+  std::size_t entries = 0;  // entry_count (kv) / value_count (multi-valued)
+  std::size_t distinct = 0;
+  std::string stats_json;  // serialized counter snapshot
+  CombineBufferTotals totals;
+};
+
+RunOut run_once(Organization org, const std::string& input, std::uint32_t cap,
+                std::size_t workers, std::size_t device_kb,
+                bool assoc_comm = true) {
+  Rig rig(device_kb << 10, workers);
+  bigkernel::PipelineConfig pcfg;
+  pcfg.records_per_chunk = 256;
+  pcfg.max_chunk_bytes = 24u << 10;
+  pcfg.num_staging_buffers = 2;
+  bigkernel::InputPipeline pipe(rig.ctx, pcfg);
+
+  HashTableConfig cfg;
+  cfg.org = org;
+  cfg.num_buckets = 256;
+  cfg.buckets_per_group = 16;
+  cfg.page_size = 2048;
+  cfg.batch_insert_capacity = cap;
+  if (org == Organization::kCombining) {
+    cfg.combiner = combine_sum_u64;
+    cfg.combiner_assoc_comm = assoc_comm;
+  }
+  SepoHashTable ht(rig.ctx, cfg);
+
+  const RecordIndex idx = index_lines(input);
+  ProgressTracker progress(idx.size());
+  SepoDriver driver;
+  (void)driver.run(ht, pipe, input, idx, progress,
+                   [&](std::size_t i, std::string_view body) {
+                     return ht.insert_u64(body, i + 1);
+                   });
+  EXPECT_TRUE(progress.all_done());
+  EXPECT_EQ(ht.pending_batched_inserts(), 0u);
+
+  RunOut out;
+  out.totals = ht.combine_buffer_totals();
+  std::ostringstream os;
+  obs::to_json(rig.stats.snapshot()).write(os);
+  out.stats_json = os.str();
+
+  const HostTable t = ht.finalize();
+  if (org == Organization::kMultiValued) {
+    out.digest = apps::digest_groups(t);
+    out.entries = t.value_count();
+    std::size_t groups = 0;
+    t.for_each_group([&](std::string_view,
+                         const std::vector<std::span<const std::byte>>&) {
+      ++groups;
+    });
+    out.distinct = groups;
+  } else {
+    out.digest = apps::digest_kv(t);
+    out.entries = t.entry_count();
+    std::size_t n = 0;
+    t.for_each([&](std::string_view, std::span<const std::byte>) { ++n; });
+    out.distinct = n;
+  }
+  return out;
+}
+
+// (organization, zipf?)
+using ParityParam = std::tuple<Organization, bool>;
+
+class BatchInsertParity : public ::testing::TestWithParam<ParityParam> {};
+
+// Single worker: arrival order is deterministic, so beyond the digest the
+// simulated counters must mirror the scalar path bit for bit ("metrics JSON
+// identical modulo combine_buffer") for every batch capacity.
+TEST_P(BatchInsertParity, MatchesScalarBitIdentically) {
+  const auto [org, zipf] = GetParam();
+  const std::string input = schedule_input(4000, 500, zipf, 42 + zipf);
+
+  const RunOut scalar = run_once(org, input, 0, 1, 1024);
+  EXPECT_FALSE(scalar.totals.enabled);
+  for (const std::uint32_t cap : {1u, 7u, 64u, 4096u}) {
+    const RunOut batched = run_once(org, input, cap, 1, 1024);
+    EXPECT_EQ(batched.digest, scalar.digest) << "cap=" << cap;
+    EXPECT_EQ(batched.entries, scalar.entries) << "cap=" << cap;
+    EXPECT_EQ(batched.distinct, scalar.distinct) << "cap=" << cap;
+    EXPECT_EQ(batched.stats_json, scalar.stats_json) << "cap=" << cap;
+    EXPECT_TRUE(batched.totals.enabled);
+    EXPECT_EQ(batched.totals.drained_records, 4000u) << "cap=" << cap;
+    if (cap > 1) {
+      // Bucket-run amortization must actually save lock acquires.
+      EXPECT_GT(batched.totals.lock_acquires_saved, 0u) << "cap=" << cap;
+    }
+  }
+}
+
+// Multi-worker: interleaving differs run to run, so only the finished table
+// is comparable — digest and key counts, against the scalar run.
+TEST_P(BatchInsertParity, MatchesScalarUnderConcurrency) {
+  const auto [org, zipf] = GetParam();
+  const std::string input = schedule_input(4000, 500, zipf, 91 + zipf);
+
+  const RunOut scalar = run_once(org, input, 0, 4, 1024);
+  for (const std::uint32_t cap : {7u, 4096u}) {
+    const RunOut batched = run_once(org, input, cap, 4, 1024);
+    EXPECT_EQ(batched.digest, scalar.digest) << "cap=" << cap;
+    EXPECT_EQ(batched.entries, scalar.entries) << "cap=" << cap;
+    EXPECT_EQ(batched.distinct, scalar.distinct) << "cap=" << cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Organizations, BatchInsertParity,
+    ::testing::Combine(::testing::Values(Organization::kBasic,
+                                         Organization::kCombining,
+                                         Organization::kMultiValued),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<ParityParam>& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](unsigned char c) { return !std::isalnum(c); }),
+                 name.end());
+      name += std::get<1>(info.param) ? "_zipf" : "_uniform";
+      return name;
+    });
+
+// A combiner not declared associative+commutative must never be applied in
+// scratch — the drain replays the arrival log — and still match scalar.
+TEST(BatchInsertParityTest, NonAssocCombinerReplaysInOrder) {
+  const std::string input = schedule_input(3000, 200, true, 7);
+  const RunOut scalar =
+      run_once(Organization::kCombining, input, 0, 1, 1024, false);
+  const RunOut batched =
+      run_once(Organization::kCombining, input, 64, 1, 1024, false);
+  EXPECT_EQ(batched.digest, scalar.digest);
+  EXPECT_EQ(batched.stats_json, scalar.stats_json);
+  EXPECT_EQ(batched.totals.precombined_records, 0u);
+  EXPECT_GT(batched.totals.scratch_hits, 0u);
+}
+
+// Postponement under pressure: on a device too small for the working set,
+// drains hit kPostpone, the original records are re-queued, and the table
+// still converges to exactly the scalar result.
+TEST(BatchInsertPostponeTest, RequeuesAndConverges) {
+  const std::string input = schedule_input(6000, 5800, false, 13);
+  const RunOut scalar = run_once(Organization::kBasic, input, 0, 2, 96);
+  const RunOut batched = run_once(Organization::kBasic, input, 4096, 2, 96);
+  EXPECT_EQ(batched.digest, scalar.digest);
+  EXPECT_EQ(batched.entries, scalar.entries);
+  EXPECT_GT(batched.totals.requeued_records, 0u)
+      << "device not small enough to force drain-time postponement";
+}
+
+// ---- CombineBuffer unit coverage ----
+
+TEST(CombineBufferTest, PrecombinesAssocCommValues) {
+  CombineBuffer buf(Organization::kCombining, 8, true, combine_sum_u64);
+  const std::uint64_t h = hash_key("k");
+  std::uint64_t v1 = 5, v2 = 37;
+  ASSERT_TRUE(buf.add(3, h, "k", test::bytes_of(v1)));
+  ASSERT_TRUE(buf.add(3, h, "k", test::bytes_of(v2)));
+  EXPECT_EQ(buf.record_count(), 2u);  // log keeps both originals
+  ASSERT_EQ(buf.slots().size(), 1u);  // scratch deduped to one slot
+  EXPECT_EQ(test::as_u64(buf.slot_value(buf.slots()[0])), 42u);
+  // Originals retained for postponement re-queue:
+  EXPECT_EQ(test::as_u64(buf.log_value(buf.log()[0])), 5u);
+  EXPECT_EQ(test::as_u64(buf.log_value(buf.log()[1])), 37u);
+  const CombineBufferStats s = buf.take_stats();
+  EXPECT_EQ(s.scratch_hits, 1u);
+  EXPECT_EQ(s.precombined_records, 1u);
+}
+
+TEST(CombineBufferTest, FullBufferRejectsAndClearReuses) {
+  CombineBuffer buf(Organization::kBasic, 2, false, nullptr);
+  std::uint64_t v = 1;
+  ASSERT_TRUE(buf.add(0, hash_key("a"), "a", test::bytes_of(v)));
+  ASSERT_TRUE(buf.add(1, hash_key("b"), "b", test::bytes_of(v)));
+  EXPECT_FALSE(buf.add(2, hash_key("c"), "c", test::bytes_of(v)));
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  ASSERT_TRUE(buf.add(2, hash_key("c"), "c", test::bytes_of(v)));
+  EXPECT_EQ(buf.slot_key(buf.slots()[0]), "c");
+}
+
+TEST(CombineBufferTest, BasicKeepsDuplicatesAsSeparateSlots) {
+  CombineBuffer buf(Organization::kBasic, 4, false, nullptr);
+  std::uint64_t v = 9;
+  ASSERT_TRUE(buf.add(5, hash_key("dup"), "dup", test::bytes_of(v)));
+  ASSERT_TRUE(buf.add(5, hash_key("dup"), "dup", test::bytes_of(v)));
+  EXPECT_EQ(buf.slots().size(), 2u);
+  EXPECT_EQ(buf.take_stats().scratch_hits, 0u);
+}
+
+// ---- HostHeap lock-free publication ----
+
+// Writers store disjoint slots while readers spin on slot_stored and then
+// read the published contents: the release/acquire pair must make every
+// published page fully visible. Run under TSan via the sanitize label.
+TEST(HostHeapConcurrencyTest, ConcurrentStoreAndReadAreRaceFree) {
+  constexpr std::size_t kPage = 256;
+  constexpr int kWriters = 4;
+  constexpr int kSlotsPerWriter = 200;
+  alloc::HostHeap heap(kPage);
+  std::vector<std::uint64_t> slots(kWriters * kSlotsPerWriter);
+  for (auto& s : slots) s = heap.reserve_slot();
+
+  std::atomic<bool> fail{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters * 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      std::byte page[kPage];
+      for (int i = 0; i < kSlotsPerWriter; ++i) {
+        const std::uint64_t slot = slots[w * kSlotsPerWriter + i];
+        std::fill(page, page + kPage, static_cast<std::byte>(slot & 0xff));
+        heap.store_page(slot, page, kPage);
+      }
+    });
+    threads.emplace_back([&, w] {
+      for (int i = kSlotsPerWriter - 1; i >= 0; --i) {
+        const std::uint64_t slot = slots[w * kSlotsPerWriter + i];
+        while (!heap.slot_stored(slot)) std::this_thread::yield();
+        const auto* p = heap.ptr<std::uint8_t>(heap.addr(slot, 0));
+        const auto* q = heap.ptr<std::uint8_t>(heap.addr(slot, kPage - 1));
+        if (*p != (slot & 0xff) || *q != (slot & 0xff)) fail = true;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(fail.load());
+  EXPECT_EQ(heap.stored_bytes(), slots.size() * kPage);
+  EXPECT_EQ(heap.reserved_slots(), slots.size());
+}
+
+TEST(HostHeapTest, RestoreKeepsPublishedPointerStable) {
+  alloc::HostHeap heap(64);
+  const std::uint64_t slot = heap.reserve_slot();
+  std::byte page[64] = {};
+  page[0] = std::byte{1};
+  heap.store_page(slot, page, 64);
+  const auto* before = heap.ptr<>(heap.addr(slot, 0));
+  page[0] = std::byte{2};
+  heap.store_page(slot, page, 64);  // recycled page, flushed again
+  EXPECT_EQ(heap.ptr<>(heap.addr(slot, 0)), before);
+  EXPECT_EQ(*heap.ptr<std::uint8_t>(heap.addr(slot, 0)), 2u);
+  EXPECT_EQ(heap.stored_bytes(), 64u);  // counted once, not per store
+}
+
+}  // namespace
+}  // namespace sepo::core

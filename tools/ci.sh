@@ -30,6 +30,22 @@ workflows="${*:-ci-debug ci-release ci-asan ci-fuzz}"
 for wf in $workflows; do
   echo "== workflow: $wf =="
   cmake --workflow --preset "$wf"
+
+  # Wall-clock regression gate: after the release workflow, run the
+  # optimized host_perf at the committed baseline's shape and diff it
+  # against BENCH_host.json (sepo_cli bench-diff exits 3 on any bench
+  # regressing past the threshold). Only meaningful on an optimized build
+  # and a reasonably quiet machine, hence ci-release only; skip with
+  # BENCH_GATE=0.
+  if [ "$wf" = "ci-release" ] && [ "${BENCH_GATE:-1}" != "0" ]; then
+    echo "== bench gate: host_perf vs committed BENCH_host.json =="
+    ./build-release/bench/host_perf --workers 8 --reps 2 \
+        --metrics-out=build-release/BENCH_host_ci.json
+    ./build-release/tools/sepo_cli bench-check \
+        build-release/BENCH_host_ci.json
+    ./build-release/tools/sepo_cli bench-diff BENCH_host.json \
+        build-release/BENCH_host_ci.json
+  fi
 done
 
 if [ "$run_fuzz_sweep" -eq 1 ] && [ "${FUZZ_BUDGET:-60}" != "0" ]; then

@@ -69,6 +69,9 @@ struct Options {
   // Host ThreadPool size (0 = hardware concurrency); stripped from argv by
   // apps::pool_workers_from_args before parse() runs.
   std::size_t workers = 0;
+  // Batched-insert capacity (0 = scalar path); stripped from argv by
+  // apps::batch_insert_from_args (`--batch-insert on|off|N`).
+  std::uint32_t batch_insert = 0;
   bool csv = false;
   gpusim::FaultConfig faults;  // all rates zero: injection disabled
   // True when --seed was given explicitly. `fuzz` has its own default master
@@ -459,6 +462,7 @@ int cmd_run(const Options& o, const obs::OutputOptions& out) {
   cfg.gpu.device_bytes = o.device_kb << 10;
   cfg.gpu.faults = o.faults;
   cfg.gpu.pool_workers = o.workers;
+  cfg.gpu.batch_insert = o.batch_insert;
   cfg.cpu.num_threads = o.threads;
   cfg.cpu.pool_workers = o.workers;
 
@@ -542,6 +546,7 @@ int cmd_compare(const Options& o, const obs::OutputOptions& out) {
     cfg.gpu.device_bytes = o.device_kb << 10;
     cfg.gpu.faults = o.faults;
     cfg.gpu.pool_workers = o.workers;
+    cfg.gpu.batch_insert = o.batch_insert;
     cfg.gpu.trace = rec.get();
     cfg.cpu.num_threads = o.threads;
     cfg.cpu.pool_workers = o.workers;
@@ -643,6 +648,21 @@ std::vector<std::string> check_metrics(const obs::Json& m) {
     // paths.
     if (!r["timeseries"].is_array())
       problems.push_back(where + ".timeseries missing");
+    // v5: the batched-insert pipeline totals. Always an object — enabled
+    // false with all-zero counters when the knob is off (and on baselines,
+    // which have no combining buffer).
+    const obs::Json& cb = r["combine_buffer"];
+    if (!cb.is_object()) {
+      problems.push_back(where + ".combine_buffer missing");
+    } else {
+      if (!cb["enabled"].is_bool())
+        problems.push_back(where + ".combine_buffer.enabled missing");
+      for (const char* k :
+           {"scratch_hits", "precombined_records", "lock_acquires_saved",
+            "drain_flushes", "drained_records", "requeued_records"})
+        if (!cb[k].is_number())
+          problems.push_back(where + ".combine_buffer." + k + " missing");
+    }
   }
   return problems;
 }
@@ -666,13 +686,14 @@ int cmd_metrics_diff(const std::string& old_path, const std::string& new_path,
   if (!older || !newer) return 2;
 
   // Files written under different schemas are incomparable (exit 2), which
-  // is distinct from "comparable but regressed" (exit 3). Exception: v3 and
-  // v4 differ only by the additive "timeseries" array, so a v3 baseline
-  // stays diffable against a v4 file — compare the shared fields and warn.
+  // is distinct from "comparable but regressed" (exit 3). Exception:
+  // v3..v5 differ only by additive objects (v4 adds "timeseries", v5 adds
+  // "combine_buffer"), so an older baseline stays diffable against a newer
+  // file — compare the shared fields and warn.
   const std::int64_t old_v = (*older)["schema_version"].as_i64();
   const std::int64_t new_v = (*newer)["schema_version"].as_i64();
   if (old_v != new_v) {
-    const auto adjacent = [](std::int64_t v) { return v == 3 || v == 4; };
+    const auto adjacent = [](std::int64_t v) { return v >= 3 && v <= 5; };
     if (!adjacent(old_v) || !adjacent(new_v)) {
       std::fprintf(stderr,
                    "schema mismatch: %s is v%lld, %s is v%lld — not comparable\n",
@@ -682,7 +703,8 @@ int cmd_metrics_diff(const std::string& old_path, const std::string& new_path,
     }
     std::fprintf(stderr,
                  "warning: schema v%lld vs v%lld — comparing shared fields "
-                 "(v4 only adds the \"timeseries\" array)\n",
+                 "(newer versions only add the \"timeseries\" / "
+                 "\"combine_buffer\" objects)\n",
                  static_cast<long long>(old_v),
                  static_cast<long long>(new_v));
   }
@@ -794,6 +816,20 @@ std::vector<std::string> check_bench(const obs::Json& m) {
           "journal_overhead_pct " +
           TablePrinter::fmt(overhead->as_double(), 2) +
           " exceeds the 10% event-journal overhead budget");
+  }
+  // Batched-insert gate: full (non-tiny) runs must show the batched insert
+  // pipeline at >= 2x over the scalar path on the skewed Zipf workload
+  // (DESIGN.md §5d). Tiny runs are exempt — at 150k items each worker sees
+  // too few records per distinct key for the drain amortization to pay off,
+  // and the tiny fixture exists for schema/plumbing smoke, not performance.
+  const obs::Json* zipf = m.find("insert_batched_speedup_zipf");
+  if (zipf != nullptr && m["tiny"].is_bool() && !m["tiny"].as_bool()) {
+    if (!zipf->is_number())
+      problems.push_back("insert_batched_speedup_zipf not a number");
+    else if (zipf->as_double() < 2.0)
+      problems.push_back("insert_batched_speedup_zipf " +
+                         TablePrinter::fmt(zipf->as_double(), 2) +
+                         " below the 2x batched-insert budget");
   }
   return problems;
 }
@@ -1152,6 +1188,7 @@ int cmd_fuzz(const Options& o) {
 int main(int argc, char** argv) {
   const obs::OutputOptions out = obs::OutputOptions::from_args(argc, argv);
   const std::size_t workers = pool_workers_from_args(argc, argv);
+  const std::uint32_t batch_insert = batch_insert_from_args(argc, argv);
 
   // The metrics/bench file commands take positional paths, not run options.
   if (argc >= 2 && (std::strcmp(argv[1], "metrics-check") == 0 ||
@@ -1212,6 +1249,7 @@ int main(int argc, char** argv) {
     return err_exit;
   }
   opts->workers = workers;
+  opts->batch_insert = batch_insert;
   if (opts->command == "list") return cmd_list();
   if (opts->command == "engines") return cmd_engines();
   if (opts->command == "run") return cmd_run(*opts, out);
